@@ -1,0 +1,29 @@
+"""Calibration bench: measured world vs per-country profile targets.
+
+Not a paper figure -- a quality gate on the reproduction itself: how
+faithfully the measured dataset reproduces the hosting profiles the
+paper's findings were encoded into.
+"""
+
+from repro.datagen.calibration import calibrate
+from repro.reporting.tables import render_table
+
+
+def test_calibration_quality(benchmark, bench_dataset, report):
+    calibration = benchmark(calibrate, bench_dataset)
+    worst = calibration.worst(8)
+    rows = [
+        [c.country, c.sites, f"{c.url_mix_error:.3f}",
+         f"{c.byte_mix_error:.3f}", f"{c.intl_error:.3f}"]
+        for c in worst
+    ]
+    text = render_table(
+        ["country", "sites", "URL-mix err", "byte-mix err", "intl err"],
+        rows, title="Calibration -- worst-calibrated countries",
+    )
+    text += (f"\nmean URL-mix error: {calibration.mean_url_mix_error:.3f}; "
+             f"mean offshore-share error: {calibration.mean_intl_error:.3f} "
+             f"over {len(calibration.countries)} countries")
+    report("calibration", text)
+    assert calibration.mean_url_mix_error < 0.12
+    assert calibration.mean_intl_error < 0.10

@@ -1,0 +1,32 @@
+"""Extension bench: affordability of government websites.
+
+Reproduces the shape of Habib et al. (WWW 2023, cited in the paper's
+related work): visiting public-service sites costs dramatically more,
+relative to income, in developing countries.
+"""
+
+from repro.analysis.affordability import affordability_gap, affordability_ranking
+from repro.reporting.tables import render_table
+
+
+def test_ext_affordability(benchmark, bench_dataset, report):
+    ranking = benchmark(affordability_ranking, bench_dataset)
+    gap = affordability_gap(bench_dataset)
+    rows = [
+        [r.country, f"{r.median_landing_bytes / 1e6:.1f} MB",
+         f"${r.visit_cost_usd:.4f}",
+         f"{r.cost_share_of_daily_income:.5%}"]
+        for r in ranking[:8]
+    ]
+    text = render_table(
+        ["country", "median landing weight", "visit cost",
+         "share of daily income"],
+        rows, title="Extension -- least affordable government webs",
+    )
+    text += (f"\npoorest-vs-richest quartile relative-cost ratio: "
+             f"{gap:.1f}x (Habib et al.: affordability burden concentrates "
+             f"in developing countries)")
+    report("ext_affordability", text)
+    assert gap > 2.0
+    shares = [r.cost_share_of_daily_income for r in ranking]
+    assert shares == sorted(shares, reverse=True)

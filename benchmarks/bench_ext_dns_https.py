@@ -1,0 +1,58 @@
+"""Extension benches: DNS dependency and HTTPS adoption.
+
+Not figures of this paper, but of the related work it builds on
+(Sommese et al. / Houser et al. on e-government DNS; Singanamalla et
+al. on government HTTPS) -- implemented as the paper's natural
+extensions over the same dataset.
+"""
+
+from repro.analysis.dnsdep import (
+    country_dns_dependency,
+    global_third_party_dns_share,
+    managed_dns_footprints,
+)
+from repro.analysis.https_adoption import (
+    global_https_prevalence,
+    https_development_correlation,
+)
+from repro.reporting.tables import render_table
+
+
+def test_ext_dns_dependency(benchmark, bench_world, bench_dataset, report):
+    share = benchmark(global_third_party_dns_share, bench_world, bench_dataset)
+    footprints = managed_dns_footprints(bench_world, bench_dataset)
+    named = {13335: "Cloudflare", 16509: "Amazon Route53-like",
+             8075: "Microsoft"}
+    rows = [
+        [named[asn], f"AS{asn}", count]
+        for asn, count in sorted(footprints.items(), key=lambda kv: -kv[1])
+        if asn in named
+    ]
+    reports = country_dns_dependency(bench_world, bench_dataset)
+    most_dependent = max(reports.values(), key=lambda r: r.top_provider_share)
+    text = render_table(
+        ["managed-DNS provider", "asn", "countries"], rows,
+        title="Extension -- third-party DNS dependency",
+    )
+    text += (f"\nglobal third-party DNS share: {share:.1%}"
+             f"\nmost single-provider-dependent country: "
+             f"{most_dependent.country} "
+             f"({most_dependent.top_provider_share:.0%} of domains on "
+             f"AS{most_dependent.top_provider_asn})")
+    report("ext_dns_dependency", text)
+    assert 0.3 < share < 0.9
+    assert max(footprints, key=footprints.get) == 13335
+
+
+def test_ext_https_adoption(benchmark, bench_world, bench_dataset, report):
+    have, valid = benchmark(global_https_prevalence, bench_world, bench_dataset)
+    correlation = https_development_correlation(bench_world, bench_dataset)
+    text = (f"hostnames presenting a certificate: {have:.1%}\n"
+            f"hostnames with a *valid* certificate: {valid:.1%}\n"
+            f"(Singanamalla et al. 2020: >70% of government sites lacked "
+            f"valid HTTPS)\n"
+            f"correlation of valid-HTTPS rate with EGDI: {correlation:+.2f}")
+    report("ext_https_adoption", text)
+    assert valid <= have <= 1
+    assert valid < 0.8
+    assert correlation > 0

@@ -1,0 +1,68 @@
+"""Extension bench: outage impact and longitudinal drift.
+
+Quantifies two claims the paper motivates but does not plot: the
+digital-shutdown risk of concentrated hosting (Section 7.2, citing the
+Mirai/Dyn incident) and the year-over-year growth in third-party
+dependency (the paper's longitudinal predecessor).
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.analysis.longitudinal import compare_snapshots, trend_summary
+from repro.analysis.resilience import (
+    single_points_of_failure,
+    worst_global_outage,
+)
+from repro.reporting.tables import render_table
+
+
+def test_ext_outage_resilience(benchmark, bench_dataset, report):
+    asn, affected, mean_loss = benchmark(worst_global_outage, bench_dataset)
+    spofs = single_points_of_failure(bench_dataset)
+    rows = [
+        [code, f"AS{spof_asn}", f"{share:.0%}"]
+        for code, (spof_asn, share) in sorted(
+            spofs.items(), key=lambda kv: -kv[1][1]
+        )[:10]
+    ]
+    text = render_table(
+        ["country", "single point of failure", "bytes lost if it fails"],
+        rows, title="Extension -- single points of failure",
+    )
+    text += (f"\nworst global outage: AS{asn} disrupts {affected} "
+             f"governments (mean {mean_loss:.0%} of their URLs)")
+    report("ext_resilience", text)
+    assert affected >= 3
+    assert "UY" in spofs
+
+
+def test_ext_longitudinal_drift(benchmark, report):
+    countries = ("BR", "ES", "ID", "EG", "PL", "TH")
+
+    def measure(drift):
+        world = SyntheticWorld.generate(WorldConfig(
+            seed=BENCH_SEED, scale=min(BENCH_SCALE, 0.05),
+            countries=countries, include_topsites=False,
+            third_party_drift=drift,
+        ))
+        return Pipeline(world).run(list(countries))
+
+    before = measure(0.0)
+    after = benchmark.pedantic(measure, args=(0.12,), rounds=1, iterations=1)
+    deltas = compare_snapshots(before, after)
+    summary = trend_summary(deltas)
+    rows = [
+        [code, f"{d.third_party_before:.2f}", f"{d.third_party_after:.2f}",
+         f"{d.delta:+.2f}"]
+        for code, d in sorted(deltas.items())
+    ]
+    text = render_table(
+        ["country", "3P share (t0)", "3P share (t1)", "delta"],
+        rows, title="Extension -- longitudinal third-party drift",
+    )
+    text += (f"\nmean delta {summary['mean_delta']:+.3f}; "
+             f"{summary['share_increasing']:.0%} of countries increasing "
+             f"(Kumar et al.: dependencies increase across countries)")
+    report("ext_longitudinal", text)
+    assert summary["mean_delta"] > 0

@@ -1,0 +1,27 @@
+"""Figure 1: per-country majority source (third party vs Govt&SOE)."""
+
+from repro.analysis.hosting import country_majority
+from repro.reporting.tables import render_table
+
+#: Countries whose Figure 1 shading the paper makes explicit.
+_PAPER_SHADING = {
+    "AR": "3P", "UY": "Govt&SOE", "BR": "Govt&SOE", "CL": "3P",
+    "IT": "3P", "IN": "Govt&SOE", "ID": "Govt&SOE", "MY": "3P",
+    "CA": "3P", "RU": "Govt&SOE",
+}
+
+
+def test_fig01_country_majority(benchmark, bench_dataset, report):
+    majority = benchmark(country_majority, bench_dataset)
+    rows = []
+    matches = 0
+    for code, paper in sorted(_PAPER_SHADING.items()):
+        measured = majority.get(code, "n/a")
+        rows.append([code, paper, measured, "ok" if measured == paper else "DIFF"])
+        matches += measured == paper
+    rows.append(["(all countries)", "-", f"{len(majority)} shaded", ""])
+    report("fig01_worldmap", render_table(
+        ["country", "paper shading", "measured", ""], rows,
+        title="Figure 1 -- majority hosting source per country",
+    ))
+    assert matches >= len(_PAPER_SHADING) - 1

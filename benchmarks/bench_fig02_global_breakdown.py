@@ -1,0 +1,28 @@
+"""Figure 2: global fraction of URLs and bytes served by each category."""
+
+from paper_values import FIG2_BYTES, FIG2_URLS
+
+from repro.analysis.hosting import global_breakdown
+from repro.categories import CATEGORY_ORDER
+from repro.reporting.tables import render_table
+
+
+def test_fig02_global_breakdown(benchmark, bench_dataset, report):
+    breakdown = benchmark(global_breakdown, bench_dataset)
+    rows = []
+    for view, paper in (("URLs", FIG2_URLS), ("Bytes", FIG2_BYTES)):
+        measured = breakdown[view.lower()]
+        for category in CATEGORY_ORDER:
+            rows.append([
+                view, str(category),
+                f"{paper[category]:.2f}", f"{measured[category]:.2f}",
+            ])
+    report("fig02_global_breakdown", render_table(
+        ["series", "category", "paper", "measured"], rows,
+        title="Figure 2 -- global prevalence by provider category",
+    ))
+    urls = breakdown["urls"]
+    # Shape: Govt&SOE leads, then Local, then Global; Regional marginal.
+    ordered = sorted(CATEGORY_ORDER, key=lambda c: -urls[c])
+    assert str(ordered[-1]) == "3P Regional"
+    assert abs(urls[CATEGORY_ORDER[0]] - FIG2_URLS[CATEGORY_ORDER[0]]) < 0.10

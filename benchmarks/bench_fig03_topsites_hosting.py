@@ -1,0 +1,34 @@
+"""Figure 3: government vs topsites hosting mixes (14 countries)."""
+
+import pytest
+
+from paper_values import FIG3_GOV_URLS, FIG3_TOP_URLS
+
+from repro.analysis.topsites import analyze_topsites, government_subset_breakdown
+from repro.reporting.tables import render_table
+from repro.websim.topsites import TopsiteHosting
+
+
+@pytest.fixture(scope="module")
+def topsite_report(bench_world, bench_pipeline, bench_dataset):
+    return analyze_topsites(bench_world, bench_dataset,
+                            geolocator=bench_pipeline.geolocator)
+
+
+def test_fig03_comparison(benchmark, bench_dataset, topsite_report, report):
+    gov = benchmark(government_subset_breakdown, bench_dataset)
+    top_urls = topsite_report.hosting_fractions()
+    rows = []
+    for label in TopsiteHosting:
+        rows.append([
+            str(label),
+            f"{FIG3_GOV_URLS[str(label)]:.2f}", f"{gov['urls'][label]:.2f}",
+            f"{FIG3_TOP_URLS[str(label)]:.2f}", f"{top_urls[label]:.2f}",
+        ])
+    report("fig03_topsites_hosting", render_table(
+        ["category", "gov paper", "gov measured", "top paper", "top measured"],
+        rows, title="Figure 3 -- government vs topsites URL mixes",
+    ))
+    # Shape: topsites lean on Global providers far more than governments.
+    assert top_urls[TopsiteHosting.GLOBAL] > gov["urls"][TopsiteHosting.GLOBAL] + 0.2
+    assert gov["urls"][TopsiteHosting.SELF_HOSTING] > top_urls[TopsiteHosting.SELF_HOSTING] + 0.1

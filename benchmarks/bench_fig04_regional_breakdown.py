@@ -1,0 +1,47 @@
+"""Figure 4: fraction of URLs and bytes served per category, per region."""
+
+from paper_values import FIG4_BYTES, FIG4_URLS
+
+from repro.analysis.hosting import regional_breakdown
+from repro.categories import CATEGORY_ORDER, HostingCategory
+from repro.reporting.tables import render_table
+
+_ORDER = (HostingCategory.GOVT_SOE, HostingCategory.P3_LOCAL,
+          HostingCategory.P3_GLOBAL, HostingCategory.P3_REGIONAL)
+
+
+def _rows(measured, paper):
+    rows = []
+    for region, mix in sorted(measured.items(), key=lambda kv: kv[0].name):
+        reference = paper[region.name]
+        rows.append(
+            [region.name]
+            + [f"{reference[i]:.2f}/{mix[cat]:.2f}" for i, cat in enumerate(_ORDER)]
+        )
+    return rows
+
+
+def test_fig04a_regional_urls(benchmark, bench_dataset, report):
+    measured = benchmark(regional_breakdown, bench_dataset, by_bytes=False)
+    report("fig04a_regional_urls", render_table(
+        ["region", "Govt&SOE", "3P Local", "3P Global", "3P Regional"],
+        _rows(measured, FIG4_URLS),
+        title="Figure 4a -- regional URL mix (paper/measured)",
+    ))
+    from repro.world.regions import Region
+
+    assert measured[Region.SA][HostingCategory.GOVT_SOE] > 0.5
+    assert measured[Region.SSA][HostingCategory.GOVT_SOE] < 0.1
+
+
+def test_fig04b_regional_bytes(benchmark, bench_dataset, report):
+    measured = benchmark(regional_breakdown, bench_dataset, by_bytes=True)
+    report("fig04b_regional_bytes", render_table(
+        ["region", "Govt&SOE", "3P Local", "3P Global", "3P Regional"],
+        _rows(measured, FIG4_BYTES),
+        title="Figure 4b -- regional byte mix (paper/measured)",
+    ))
+    from repro.world.regions import Region
+
+    assert measured[Region.SA][HostingCategory.GOVT_SOE] > 0.7
+    assert measured[Region.NA][HostingCategory.P3_GLOBAL] > 0.4

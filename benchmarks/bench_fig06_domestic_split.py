@@ -1,0 +1,23 @@
+"""Figure 6: domestic vs international registration and server location."""
+
+from paper_values import FIG6_DOMESTIC
+
+from repro.analysis.registration import global_split
+from repro.reporting.tables import render_table
+
+
+def test_fig06_global_split(benchmark, bench_dataset, report):
+    splits = benchmark(global_split, bench_dataset)
+    rows = [
+        [view, f"{FIG6_DOMESTIC[view]:.2f}", f"{split.domestic:.2f}",
+         f"{split.international:.2f}"]
+        for view, split in splits.items()
+    ]
+    report("fig06_domestic_split", render_table(
+        ["view", "paper domestic", "measured domestic", "measured intl"],
+        rows, title="Figure 6 -- domestic vs international hosting",
+    ))
+    assert abs(splits["geolocation"].domestic - 0.87) < 0.08
+    assert abs(splits["whois"].domestic - 0.77) < 0.10
+    # Registration is more international than physical server location.
+    assert splits["whois"].international > splits["geolocation"].international

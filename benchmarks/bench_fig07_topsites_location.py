@@ -1,0 +1,48 @@
+"""Figure 7: domestic/international hosting, governments vs topsites."""
+
+import pytest
+
+from paper_values import FIG7_GOV, FIG7_TOPSITES
+
+from repro.analysis.topsites import analyze_topsites, government_subset_location
+from repro.reporting.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def topsite_report(bench_world, bench_pipeline, bench_dataset):
+    return analyze_topsites(bench_world, bench_dataset,
+                            geolocator=bench_pipeline.geolocator)
+
+
+def test_fig07_location_comparison(benchmark, bench_dataset, topsite_report, report):
+    gov = benchmark(government_subset_location, bench_dataset)
+    top_geo = topsite_report.location_split()
+    top_whois = topsite_report.registration_location_split()
+    rows = [
+        ["gov / whois", f"{FIG7_GOV['whois']:.2f}", f"{gov['whois'].domestic:.2f}"],
+        ["gov / geolocation", f"{FIG7_GOV['geolocation']:.2f}",
+         f"{gov['geolocation'].domestic:.2f}"],
+        ["topsites / whois", f"{FIG7_TOPSITES['whois']:.2f}",
+         f"{top_whois.domestic:.2f}"],
+        ["topsites / geolocation", f"{FIG7_TOPSITES['geolocation']:.2f}",
+         f"{top_geo.domestic:.2f}"],
+    ]
+    report("fig07_topsites_location", render_table(
+        ["series", "paper domestic", "measured domestic"], rows,
+        title="Figure 7 -- domestic hosting: governments vs topsites",
+    ))
+    # Shape: governments host domestically far more than topsites, on both
+    # the registration and the server-location view.
+    assert gov["geolocation"].domestic > top_geo.domestic + 0.2
+    assert gov["whois"].domestic > top_whois.domestic + 0.2
+    assert 0.3 < top_geo.domestic < 0.7
+
+
+def test_fig07_timing_topsite_analysis(benchmark, bench_world, bench_pipeline,
+                                       bench_dataset):
+    benchmark.pedantic(
+        analyze_topsites,
+        args=(bench_world, bench_dataset),
+        kwargs={"geolocator": bench_pipeline.geolocator},
+        rounds=1, iterations=1,
+    )

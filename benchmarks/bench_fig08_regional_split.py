@@ -1,0 +1,39 @@
+"""Figure 8: regional domestic/international splits."""
+
+from paper_values import FIG8_LOCATION, FIG8_REGISTRATION
+
+from repro.analysis.registration import regional_split
+from repro.reporting.tables import render_table
+from repro.world.regions import Region
+
+
+def test_fig08a_registration(benchmark, bench_dataset, report):
+    measured = benchmark(regional_split, bench_dataset, view="whois", weighting="url")
+    rows = [
+        [region.name, f"{FIG8_REGISTRATION[region.name]:.2f}",
+         f"{split.domestic:.2f}"]
+        for region, split in sorted(measured.items(), key=lambda kv: kv[1].domestic)
+    ]
+    report("fig08a_regional_registration", render_table(
+        ["region", "paper domestic", "measured domestic"], rows,
+        title="Figure 8a -- country of registration per region",
+    ))
+    assert measured[Region.NA].domestic > measured[Region.SSA].domestic
+
+
+def test_fig08b_server_location(benchmark, bench_dataset, report):
+    measured = benchmark(regional_split, bench_dataset, view="geolocation", weighting="url")
+    rows = [
+        [region.name, f"{FIG8_LOCATION[region.name]:.2f}",
+         f"{split.domestic:.2f}"]
+        for region, split in sorted(measured.items(), key=lambda kv: kv[1].domestic)
+    ]
+    report("fig08b_regional_location", render_table(
+        ["region", "paper domestic", "measured domestic"], rows,
+        title="Figure 8b -- server location per region",
+    ))
+    # SSA is the extreme international region; NA/EAP/SA stay domestic.
+    assert measured[Region.SSA].domestic < 0.65
+    assert measured[Region.NA].domestic > 0.9
+    assert measured[Region.EAP].domestic > 0.8
+    assert measured[Region.SA].domestic > 0.8

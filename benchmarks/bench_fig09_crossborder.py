@@ -1,0 +1,45 @@
+"""Figure 9: cross-border dependency flows (Sankey inputs)."""
+
+from paper_values import BILATERAL
+
+from repro.analysis.crossborder import bilateral_share, flows
+from repro.reporting.tables import render_table
+
+
+def test_fig09_flows(benchmark, bench_dataset, report):
+    all_flows = benchmark(flows, bench_dataset, "server")
+    top = sorted(all_flows, key=lambda f: -f.url_count)[:12]
+    rows = [[f.source, f.destination, f.url_count] for f in top]
+    bilateral_rows = []
+    for (source, destination), paper in sorted(BILATERAL.items()):
+        measured = bilateral_share(bench_dataset, source, destination)
+        bilateral_rows.append([
+            f"{source}->{destination}", f"{paper:.3f}", f"{measured:.3f}",
+        ])
+    text = render_table(
+        ["source", "destination", "urls"], rows,
+        title="Figure 9b -- largest cross-border flows (server location)",
+    ) + "\n\n" + render_table(
+        ["pair", "paper", "measured"], bilateral_rows,
+        title="Section 6.3 bilateral dependencies",
+    )
+    report("fig09_crossborder", text)
+    # The marquee bilateral relationships reproduce.
+    assert bilateral_share(bench_dataset, "MX", "US") > 0.6
+    assert bilateral_share(bench_dataset, "NZ", "AU") > 0.25
+    assert bilateral_share(bench_dataset, "FR", "NC") > 0.10
+    assert bilateral_share(bench_dataset, "BR", "US") < 0.08
+
+
+def test_fig09a_registration_flows(benchmark, bench_dataset, report):
+    registration_flows = benchmark(flows, bench_dataset, "registration")
+    by_dest = {}
+    for flow in registration_flows:
+        by_dest[flow.destination] = by_dest.get(flow.destination, 0) + flow.url_count
+    top = sorted(by_dest.items(), key=lambda kv: -kv[1])[:8]
+    report("fig09a_registration_flows", render_table(
+        ["destination", "urls"], top,
+        title="Figure 9a -- foreign registration destinations",
+    ))
+    # Foreign registration flows concentrate on the US (Section 6.3).
+    assert top[0][0] == "US"

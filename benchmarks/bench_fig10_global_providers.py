@@ -1,0 +1,39 @@
+"""Figure 10: global-provider footprints and byte reliance."""
+
+from paper_values import FIG10_TOP, TOP_RELIANCES
+
+from repro.analysis.providers import global_provider_footprints, top_reliances
+from repro.reporting.figures import render_histogram
+from repro.reporting.tables import render_table
+
+
+def test_fig10_country_counts(benchmark, bench_dataset, report):
+    footprints = benchmark(global_provider_footprints, bench_dataset)
+    labels = [f"{fp.name} (AS{fp.asn})" for fp in footprints[:15]]
+    counts = [fp.country_count for fp in footprints[:15]]
+    text = render_histogram(labels, counts,
+                            title="Figure 10 -- countries per Global provider")
+    text += "\npaper top-3: " + ", ".join(
+        f"{name}={count}" for name, count in FIG10_TOP.items()
+    )
+    report("fig10_provider_counts", text)
+    assert footprints[0].asn == 13335  # Cloudflare leads
+    # Cloudflare's lead over the third provider mirrors the "nearly twice
+    # as many countries" finding.
+    if len(footprints) > 2:
+        assert footprints[0].country_count >= 1.4 * footprints[2].country_count
+
+
+def test_fig10_byte_reliance_cdf(benchmark, bench_dataset, report):
+    top = benchmark(top_reliances, bench_dataset, 8)
+    rows = [[name, f"AS{asn}", country, f"{fraction:.2f}"]
+            for name, asn, country, fraction in top]
+    text = render_table(
+        ["provider", "asn", "country", "byte share"], rows,
+        title="Figure 10 (CDF tail) -- highest single-provider reliances",
+    )
+    text += "\npaper highlights: " + ", ".join(
+        f"{name}~{value:.2f}" for name, value in TOP_RELIANCES.items()
+    )
+    report("fig10_byte_reliance", text)
+    assert top[0][3] > 0.55

@@ -1,0 +1,43 @@
+"""Figure 11: HHI distribution per dominant hosting category."""
+
+import statistics
+
+from paper_values import SINGLE_NETWORK
+
+from repro.analysis.diversification import (
+    hhi_by_dominant_category,
+    single_network_dependence,
+)
+from repro.categories import HostingCategory
+from repro.reporting.tables import render_table
+
+
+def test_fig11_hhi_distribution(benchmark, bench_dataset, report):
+    groups = benchmark(hhi_by_dominant_category, bench_dataset, by_bytes=True)
+    dependence = single_network_dependence(bench_dataset)
+    rows = []
+    for category in (HostingCategory.GOVT_SOE, HostingCategory.P3_LOCAL,
+                     HostingCategory.P3_GLOBAL):
+        values = groups.get(category, [])
+        above, total = dependence.get(category, (0, 0))
+        rows.append([
+            str(category), len(values),
+            f"{statistics.median(values):.2f}" if values else "-",
+            f"{above}/{total}",
+            f"{above / total:.0%}" if total else "-",
+        ])
+    text = render_table(
+        ["dominant source", "countries", "median HHI", ">50% single net", "share"],
+        rows, title="Figure 11 -- network diversification by dominant source",
+    )
+    text += "\npaper: Govt&SOE {}/{} (63%), Global {}/{} (32%)".format(
+        *SINGLE_NETWORK["Govt&SOE"], *SINGLE_NETWORK["3P Global"]
+    )
+    report("fig11_hhi", text)
+    gov_above, gov_total = dependence[HostingCategory.GOVT_SOE]
+    glob_above, glob_total = dependence[HostingCategory.P3_GLOBAL]
+    # Shape: Govt&SOE-dominant countries are markedly less diversified.
+    assert gov_above / gov_total > glob_above / glob_total
+    gov_values = groups[HostingCategory.GOVT_SOE]
+    glob_values = groups[HostingCategory.P3_GLOBAL]
+    assert statistics.median(gov_values) > statistics.median(glob_values)

@@ -1,0 +1,48 @@
+"""Figure 12 and Table 7: explanatory OLS regression and VIFs."""
+
+from paper_values import FIG12, TABLE7_VIF
+
+from repro.analysis.regression import (
+    FEATURE_NAMES,
+    explanatory_regression,
+    variance_inflation_factors,
+)
+from repro.reporting.tables import render_table
+
+
+def test_fig12_regression(benchmark, bench_dataset, report):
+    result = benchmark(explanatory_regression, bench_dataset)
+    rows = []
+    for name in FEATURE_NAMES:
+        coefficient = result.coefficient(name)
+        paper = FIG12.get(name)
+        rows.append([
+            name,
+            f"{paper[0]:+.3f} (p={paper[1]:.3f})" if paper else "ns",
+            f"{coefficient.estimate:+.3f} (p={coefficient.p_value:.3f})",
+            f"[{coefficient.ci_low:+.2f}, {coefficient.ci_high:+.2f}]",
+        ])
+    report("fig12_regression", render_table(
+        ["feature", "paper", "measured", "95% CI"], rows,
+        title="Figure 12 -- correlates of offshore hosting",
+    ))
+    users = result.coefficient("internet_users")
+    nri = result.coefficient("NRI")
+    gdp = result.coefficient("GDP")
+    assert users.estimate > 0 and users.significant
+    assert nri.estimate < 0 and nri.significant
+    assert gdp.estimate < 0.15
+
+
+def test_tab07_vif(benchmark, bench_dataset, report):
+    vifs = benchmark(variance_inflation_factors, bench_dataset)
+    rows = [
+        [name, f"{TABLE7_VIF[name]:.2f}", f"{vifs[name]:.2f}"]
+        for name in FEATURE_NAMES
+    ]
+    report("tab07_vif", render_table(
+        ["feature", "paper VIF", "measured VIF"], rows,
+        title="Table 7 -- variance inflation factors",
+    ))
+    assert all(value < 10 for value in vifs.values())
+    assert min(vifs, key=vifs.get) == "internet_users"

@@ -1,0 +1,30 @@
+"""End-to-end timing: world generation and the full measurement pipeline."""
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+
+
+def test_world_generation(benchmark):
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    world = benchmark(SyntheticWorld.generate, config)
+    assert world.truth.hosts
+
+
+def test_full_pipeline(benchmark):
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    world = SyntheticWorld.generate(config)
+
+    def run():
+        return Pipeline(world).run()
+
+    dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dataset.summarize().total_unique_urls > 0
+
+
+def test_single_country_pipeline(benchmark):
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    world = SyntheticWorld.generate(config)
+    pipeline = Pipeline(world)
+    dataset = benchmark(pipeline.run, ["BR"])
+    assert set(dataset.countries) == {"BR"}

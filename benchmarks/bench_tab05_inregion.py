@@ -1,0 +1,42 @@
+"""Table 5 and Section 6.3: in-region retention, affinity and GDPR."""
+
+from paper_values import GDPR_COMPLIANCE, TABLE5
+
+from repro.analysis.crossborder import (
+    gdpr_compliance,
+    regional_affinity,
+    same_region_share,
+)
+from repro.reporting.tables import render_table
+from repro.world.regions import Region
+
+
+def test_tab05_in_region_share(benchmark, bench_dataset, report):
+    shares = benchmark(same_region_share, bench_dataset)
+    rows = []
+    for region_name, paper in TABLE5.items():
+        region = Region[region_name]
+        measured = shares.get(region, 0.0) * 100
+        rows.append([region_name, f"{paper:.2f}", f"{measured:.2f}"])
+    affinity = regional_affinity(bench_dataset)
+    lines = [render_table(
+        ["region", "paper %", "measured %"], rows,
+        title="Table 5 -- cross-border dependencies remaining in-region",
+    )]
+    for region, hosts in sorted(affinity.items(), key=lambda kv: kv[0].name):
+        leader = max(hosts, key=hosts.get)
+        lines.append(
+            f"regional affinity {region.name}: {leader} hosts "
+            f"{hosts[leader]:.0%} of in-region cross-border URLs"
+        )
+    compliance = gdpr_compliance(bench_dataset)
+    lines.append(
+        f"GDPR compliance: paper {GDPR_COMPLIANCE:.1%}, measured {compliance:.1%}"
+    )
+    report("tab05_inregion", "\n".join(lines))
+    assert shares[Region.ECA] > 0.75
+    assert shares[Region.EAP] > 0.6
+    assert shares.get(Region.LAC, 0.0) < 0.15
+    assert compliance > 0.93
+    eca_hosts = affinity[Region.ECA]
+    assert max(eca_hosts, key=eca_hosts.get) == "DE"

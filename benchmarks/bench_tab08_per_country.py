@@ -1,0 +1,38 @@
+"""Table 8: per-country dataset statistics."""
+
+from conftest import BENCH_SCALE
+
+from repro.reporting.tables import render_table
+from repro.world.countries import get_country
+
+_SHOWCASE = ("US", "DE", "BE", "HU", "CN", "IN", "BR", "NG", "UY", "KR")
+
+
+def test_tab08_per_country(benchmark, bench_dataset, report):
+    stats = benchmark(bench_dataset.per_country_stats)
+    rows = []
+    for code in _SHOWCASE:
+        country = get_country(code)
+        measured = stats[code]
+        rows.append([
+            code,
+            f"{country.landing_urls}/{country.internal_urls}/{country.hostnames}",
+            f"{measured['landing_urls']}/{measured['internal_urls']}"
+            f"/{measured['hostnames']}",
+        ])
+    report("tab08_per_country", render_table(
+        ["country", "paper (L/I/H, full scale)",
+         f"measured (L/I/H, scale={BENCH_SCALE})"], rows,
+        title="Table 8 -- per-country dataset statistics (excerpt)",
+    ))
+    # Relative country sizes mirror Table 8: Belgium and Hungary dwarf the
+    # others in internal URLs; Korea is empty.
+    internals = {code: stats[code]["internal_urls"] for code in stats}
+    assert internals["BE"] > internals["DE"] > internals["UY"]
+    assert internals["HU"] > internals["CN"]
+    assert internals["KR"] == 0
+    for code in _SHOWCASE:
+        if code == "KR":
+            continue
+        expected = get_country(code).internal_urls * BENCH_SCALE
+        assert internals[code] > 0.4 * expected

@@ -1,0 +1,29 @@
+"""Table 9: the country sample with indices and VPN assignments."""
+
+from repro.measure.vpn import VpnCatalog
+from repro.reporting.tables import render_table
+from repro.world.countries import COUNTRIES, countries_in_region
+from repro.world.regions import Region
+
+
+def _sample_summary():
+    per_region = {
+        region.name: len(countries_in_region(region)) for region in Region
+    }
+    coverage = sum(c.internet_pop_share for c in COUNTRIES.values())
+    vpns = VpnCatalog().provider_usage()
+    return per_region, coverage, vpns
+
+
+def test_tab09_sample(benchmark, report):
+    per_region, coverage, vpns = benchmark(_sample_summary)
+    rows = [[name, count] for name, count in sorted(per_region.items())]
+    text = render_table(["region", "countries"], rows,
+                        title="Table 9 -- sample composition")
+    text += f"\nInternet population coverage: {coverage:.2f}% (paper: 82.70%)"
+    text += "\nVPNs: " + ", ".join(f"{k}={v}" for k, v in sorted(vpns.items()))
+    report("tab09_countries", text)
+    assert sum(per_region.values()) == 61
+    assert per_region["ECA"] == 29
+    assert abs(coverage - 82.70) < 1.5
+    assert vpns == {"NordVPN": 49, "Surfshark": 10, "Hotspot Shield": 2}

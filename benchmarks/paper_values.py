@@ -1,0 +1,120 @@
+"""The paper's reported values, used for paper-vs-measured reports.
+
+Every constant is transcribed from the IMC 2024 paper; benchmarks print
+them next to the values measured over the synthetic world so the shape
+of each result can be compared at a glance.
+"""
+
+from repro.categories import HostingCategory
+
+_G = HostingCategory.GOVT_SOE
+_L = HostingCategory.P3_LOCAL
+_GL = HostingCategory.P3_GLOBAL
+_R = HostingCategory.P3_REGIONAL
+
+#: Figure 2 -- global prevalence by category.
+FIG2_URLS = {_G: 0.39, _L: 0.34, _GL: 0.25, _R: 0.03}
+FIG2_BYTES = {_G: 0.47, _L: 0.28, _GL: 0.23, _R: 0.02}
+
+#: Figure 3 -- 14-country comparison (government vs topsites).
+FIG3_GOV_URLS = {"Self-Hosting": 0.46, "3P Local": 0.20, "3P Global": 0.32,
+                 "3P Regional": 0.01}
+FIG3_TOP_URLS = {"Self-Hosting": 0.18, "3P Local": 0.03, "3P Global": 0.78,
+                 "3P Regional": 0.01}
+
+#: Figure 4a/4b -- regional category mixes (G, L, GL, R).
+FIG4_URLS = {
+    "SSA": (0.01, 0.46, 0.39, 0.14),
+    "ECA": (0.24, 0.46, 0.28, 0.02),
+    "NA": (0.25, 0.17, 0.58, 0.00),
+    "LAC": (0.41, 0.25, 0.30, 0.03),
+    "MENA": (0.43, 0.10, 0.47, 0.00),
+    "EAP": (0.48, 0.35, 0.14, 0.02),
+    "SA": (0.80, 0.09, 0.11, 0.01),
+}
+FIG4_BYTES = {
+    "SSA": (0.00, 0.48, 0.34, 0.17),
+    "ECA": (0.18, 0.61, 0.19, 0.02),
+    "NA": (0.22, 0.10, 0.68, 0.00),
+    "LAC": (0.27, 0.30, 0.41, 0.01),
+    "EAP": (0.50, 0.26, 0.22, 0.02),
+    "MENA": (0.71, 0.03, 0.26, 0.00),
+    "SA": (0.95, 0.02, 0.03, 0.00),
+}
+
+#: Figure 6 -- global domestic shares (WHOIS registration, geolocation).
+FIG6_DOMESTIC = {"whois": 0.77, "geolocation": 0.87}
+
+#: Figure 7 -- 14-country domestic shares.
+FIG7_GOV = {"whois": 0.78, "geolocation": 0.89}
+FIG7_TOPSITES = {"whois": 0.11, "geolocation": 0.49}
+
+#: Figure 8a/8b -- regional domestic shares.
+FIG8_REGISTRATION = {"SSA": 0.45, "MENA": 0.52, "LAC": 0.66, "ECA": 0.71,
+                     "EAP": 0.87, "SA": 0.88, "NA": 0.91}
+FIG8_LOCATION = {"SSA": 0.52, "MENA": 0.74, "LAC": 0.80, "ECA": 0.85,
+                 "SA": 0.94, "EAP": 0.96, "NA": 0.98}
+
+#: Section 6.3 bilateral dependencies (fraction of source URLs).
+BILATERAL = {
+    ("MX", "US"): 0.7922,
+    ("CR", "US"): 0.4970,
+    ("NZ", "AU"): 0.40,
+    ("CN", "JP"): 0.264,
+    ("MA", "FR"): 0.2982,
+    ("FR", "NC"): 0.1803,
+    ("BR", "US"): 0.0178,
+}
+
+#: Table 3 -- dataset headline numbers (full scale).
+TABLE3 = {
+    "landing_urls": 15_878,
+    "internal_urls": 1_017_865,
+    "total_unique_urls": 1_033_743,
+    "unique_hostnames": 13_483,
+    "ases": 950,
+    "government_ases": 347,
+    "unique_addresses": 4_286,
+    "anycast_addresses": 433,
+    "countries_with_servers": 68,
+}
+
+#: Section 4.2 -- URL-filter attribution.
+FILTER_FRACTIONS = {"tld": 0.276, "domain": 0.721, "san": 0.003}
+
+#: Table 4 -- geolocation validation fractions.
+TABLE4 = {
+    "unicast": {"AP": 0.41, "MG": 0.57, "UR": 0.02},
+    "anycast": {"AP": 0.83, "MG": 0.00, "UR": 0.17},
+}
+
+#: Table 5 -- % of cross-border dependencies remaining in-region.
+TABLE5 = {
+    "ECA": 94.87, "EAP": 80.79, "NA": 59.89, "LAC": 3.41,
+    "SSA": 2.95, "MENA": 0.00, "SA": 0.00,
+}
+
+#: Section 6.3 -- GDPR compliance of EU government URLs.
+GDPR_COMPLIANCE = 0.983
+
+#: Figure 10 -- countries per provider (top of the histogram).
+FIG10_TOP = {"Cloudflare": 49, "Amazon": 31, "Microsoft": 28}
+
+#: Section 7.1 -- highest single-provider byte reliances.
+TOP_RELIANCES = {"Amazon": 0.97, "Cloudflare": 0.72, "Hetzner": 0.57}
+
+#: Section 7.2 -- single-network dependence by dominant category.
+SINGLE_NETWORK = {"Govt&SOE": (12, 19), "3P Global": (8, 25)}
+
+#: Figure 12 -- significant coefficients (estimate, p-value).
+FIG12 = {
+    "internet_users": (0.845, 0.001),
+    "NRI": (-0.660, 0.022),
+    "GDP": (-0.239, 0.003),
+}
+
+#: Table 7 -- VIF per feature.
+TABLE7_VIF = {
+    "internet_users": 2.06, "HDI": 8.61, "IDI": 4.11,
+    "NRI": 9.09, "GDP": 5.00, "econ_freedom": 3.71,
+}

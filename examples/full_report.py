@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate the whole evaluation as one text report.
+
+Usage::
+
+    python examples/full_report.py [scale] > report.txt
+
+Generates a world, measures it, and renders every Section 5-7 analysis
+(plus the DNS/HTTPS extensions) into a single document.
+"""
+
+import sys
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.reporting.paper_report import render_paper_report
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    world = SyntheticWorld.generate(WorldConfig(seed=42, scale=scale))
+    dataset = Pipeline(world).run()
+    print(render_paper_report(dataset, world))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Global-provider centralization analysis (Section 7).
+
+Usage::
+
+    python examples/provider_centralization.py
+
+Prints the Figure 10 analogue (countries relying on each Global
+provider and the highest single-provider byte reliances) and the
+Figure 11 analogue (network diversification by dominant hosting
+source).
+"""
+
+import statistics
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.analysis.diversification import (
+    hhi_by_dominant_category,
+    single_network_dependence,
+)
+from repro.analysis.providers import global_provider_footprints, top_reliances
+from repro.categories import HostingCategory
+from repro.reporting.figures import render_histogram
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    world = SyntheticWorld.generate(WorldConfig(seed=42, scale=0.05))
+    dataset = Pipeline(world).run()
+
+    footprints = global_provider_footprints(dataset)
+    print(render_histogram(
+        [f"{fp.name} (AS{fp.asn})" for fp in footprints[:12]],
+        [fp.country_count for fp in footprints[:12]],
+        title="Countries relying on each Global provider (Figure 10)",
+    ))
+
+    print()
+    print(render_table(
+        ["provider", "country", "share of bytes"],
+        [[name, country, f"{fraction:.0%}"]
+         for name, _asn, country, fraction in top_reliances(dataset, 6)],
+        title="Deepest single-provider dependencies",
+    ))
+
+    print()
+    groups = hhi_by_dominant_category(dataset, by_bytes=True)
+    dependence = single_network_dependence(dataset)
+    rows = []
+    for category in (HostingCategory.GOVT_SOE, HostingCategory.P3_LOCAL,
+                     HostingCategory.P3_GLOBAL):
+        values = groups.get(category, [])
+        above, total = dependence.get(category, (0, 0))
+        rows.append([
+            str(category), len(values),
+            f"{statistics.median(values):.2f}" if values else "-",
+            f"{above}/{total}",
+        ])
+    print(render_table(
+        ["dominant source", "countries", "median HHI", ">50% on one network"],
+        rows, title="Diversification by dominant hosting source (Figure 11)",
+    ))
+    print("\nPaper: 63% of Govt&SOE-dominant countries serve most bytes from "
+          "a single network, vs 32% of Global-dominant ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Digital-sovereignty report for selected countries.
+
+Usage::
+
+    python examples/sovereignty_report.py [CC [CC ...]]
+
+For each requested country (default: BR UY AR MX FR CN), prints its
+hosting-category mix, domestic/international split, top foreign
+dependencies and provider concentration -- the per-country view behind
+the paper's Sections 5-7.
+"""
+
+import sys
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.analysis.crossborder import EU_MEMBER_CODES, flows
+from repro.analysis.diversification import country_network_hhi
+from repro.analysis.registration import registration_split, server_split
+from repro.categories import CATEGORY_ORDER
+from repro.reporting.tables import render_table
+from repro.world.countries import get_country
+
+DEFAULT_COUNTRIES = ("BR", "UY", "AR", "MX", "FR", "CN")
+
+
+def report(dataset, code: str) -> None:
+    country = get_country(code)
+    country_dataset = dataset.country(code)
+    if not country_dataset.records:
+        print(f"\n== {country} -- no sites collected ==")
+        return
+    print(f"\n== {country} ({country.region.name}) ==")
+    urls = country_dataset.category_url_fractions()
+    byte_mix = country_dataset.category_byte_fractions()
+    print(render_table(
+        ["category", "URLs", "bytes"],
+        [[str(c), f"{urls[c]:.2f}", f"{byte_mix[c]:.2f}"] for c in CATEGORY_ORDER],
+    ))
+    location = server_split(country_dataset.records)
+    registration = registration_split(country_dataset.records)
+    print(f"servers abroad: {location.international:.0%}  |  "
+          f"foreign-registered orgs: {registration.international:.0%}")
+
+    foreign = [f for f in flows(dataset) if f.source == code]
+    foreign.sort(key=lambda f: -f.url_count)
+    if foreign:
+        top = ", ".join(
+            f"{f.destination} ({f.url_count} URLs)" for f in foreign[:4]
+        )
+        print(f"top foreign dependencies: {top}")
+    hhi = country_network_hhi(dataset, by_bytes=True).get(code)
+    if hhi is not None:
+        label = "concentrated" if hhi > 0.5 else "diversified"
+        print(f"network concentration (HHI over bytes): {hhi:.2f} ({label})")
+    if country.eu_member:
+        eu_ok = sum(
+            1 for r in country_dataset.included_records()
+            if r.server_country in EU_MEMBER_CODES
+        )
+        total = len(country_dataset.included_records())
+        print(f"GDPR: {eu_ok / total:.1%} of URLs served within the EU")
+
+
+def main() -> None:
+    codes = [c.upper() for c in sys.argv[1:]] or list(DEFAULT_COUNTRIES)
+    world = SyntheticWorld.generate(WorldConfig(seed=42, scale=0.04))
+    dataset = Pipeline(world).run()
+    for code in codes:
+        report(dataset, code)
+
+
+if __name__ == "__main__":
+    main()

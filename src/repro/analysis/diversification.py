@@ -1,0 +1,102 @@
+"""Diversification of hosting providers (Section 7.2, Figure 11).
+
+Measures each country's concentration across serving networks with the
+Herfindahl-Hirschman Index, then groups countries by the dominant
+source of their bytes (Govt&SOE, 3P Local, 3P Global) to reproduce the
+Figure 11 boxplots and the 63%-vs-32% single-network finding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.categories import HostingCategory
+from repro.core.dataset import CountryDataset, GovernmentHostingDataset
+
+
+def hhi(shares: Sequence[float]) -> float:
+    """Herfindahl-Hirschman Index of a share vector.
+
+    Shares are normalized first, so raw counts are accepted; the result
+    lies in (0, 1], with 1 meaning full concentration.
+    """
+    total = float(sum(shares))
+    if total <= 0:
+        raise ValueError("shares must have positive mass")
+    return sum((value / total) ** 2 for value in shares)
+
+
+def _network_shares(
+    country_dataset: CountryDataset, by_bytes: bool
+) -> dict[int, float]:
+    totals: dict[int, float] = {}
+    for record in country_dataset.records:
+        weight = record.size_bytes if by_bytes else 1.0
+        totals[record.asn] = totals.get(record.asn, 0.0) + weight
+    return totals
+
+
+def country_network_hhi(
+    dataset: GovernmentHostingDataset, by_bytes: bool = False
+) -> dict[str, float]:
+    """HHI over serving networks (ASes) per country."""
+    result: dict[str, float] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        shares = _network_shares(country_dataset, by_bytes)
+        if shares:
+            result[code] = hhi(list(shares.values()))
+    return result
+
+
+def dominant_category(
+    country_dataset: CountryDataset,
+) -> HostingCategory:
+    """Predominant source of a country's bytes (Figure 11 grouping)."""
+    mix = country_dataset.category_byte_fractions()
+    return max(mix, key=lambda category: mix[category])
+
+
+def hhi_by_dominant_category(
+    dataset: GovernmentHostingDataset, by_bytes: bool = False
+) -> dict[HostingCategory, list[float]]:
+    """Figure 11: the HHI distribution per dominant-category group."""
+    values = country_network_hhi(dataset, by_bytes=by_bytes)
+    groups: dict[HostingCategory, list[float]] = {}
+    for code, value in values.items():
+        country_dataset = dataset.countries[code]
+        if not country_dataset.records:
+            continue
+        group = dominant_category(country_dataset)
+        groups.setdefault(group, []).append(value)
+    return groups
+
+
+def single_network_dependence(
+    dataset: GovernmentHostingDataset, threshold: float = 0.5
+) -> dict[HostingCategory, tuple[int, int]]:
+    """Countries serving more than ``threshold`` of bytes from one network.
+
+    Returns, per dominant-category group, (countries above threshold,
+    group size) -- the paper's "63% (12/19) of Govt&SOE countries vs 32%
+    (8/25) of Global ones".
+    """
+    result: dict[HostingCategory, tuple[int, int]] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        shares = _network_shares(country_dataset, by_bytes=True)
+        total = sum(shares.values())
+        top_share = max(shares.values()) / total if total else 0.0
+        group = dominant_category(country_dataset)
+        above, size = result.get(group, (0, 0))
+        result[group] = (above + (1 if top_share > threshold else 0), size + 1)
+    return result
+
+
+__all__ = [
+    "hhi",
+    "country_network_hhi",
+    "dominant_category",
+    "hhi_by_dominant_category",
+    "single_network_dependence",
+]

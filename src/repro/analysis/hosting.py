@@ -1,0 +1,133 @@
+"""Hosting-trend analyses (Section 5, Figures 1, 2 and 4).
+
+Fractions of URLs and bytes served by each hosting category, globally,
+per region and per country.  Global prevalence (Figure 2) is computed
+URL/byte-weighted over the whole dataset; regional breakdowns
+(Figure 4) default to country-mean weighting so giant crawls (Belgium,
+Hungary) do not erase the regional signal -- both weightings are
+exposed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.categories import HostingCategory
+from repro.core.dataset import GovernmentHostingDataset, UrlRecord
+from repro.world.countries import get_country
+from repro.world.regions import Region
+
+Weighting = Literal["url", "country"]
+
+
+def category_fractions(
+    records: Iterable[UrlRecord], by_bytes: bool = False
+) -> dict[HostingCategory, float]:
+    """Fraction of URLs (or bytes) served by each category."""
+    totals = {category: 0.0 for category in HostingCategory}
+    for record in records:
+        totals[record.category] += record.size_bytes if by_bytes else 1.0
+    grand_total = sum(totals.values())
+    if grand_total == 0:
+        return totals
+    return {cat: value / grand_total for cat, value in totals.items()}
+
+
+def global_breakdown(
+    dataset: GovernmentHostingDataset,
+) -> dict[str, dict[HostingCategory, float]]:
+    """Figure 2: global prevalence of each category, by URLs and bytes."""
+    records = list(dataset.iter_records())
+    return {
+        "urls": category_fractions(records, by_bytes=False),
+        "bytes": category_fractions(records, by_bytes=True),
+    }
+
+
+def country_breakdown(
+    dataset: GovernmentHostingDataset,
+) -> dict[str, dict[str, dict[HostingCategory, float]]]:
+    """Per-country URL and byte category mixes."""
+    result: dict[str, dict[str, dict[HostingCategory, float]]] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        result[code] = {
+            "urls": country_dataset.category_url_fractions(),
+            "bytes": country_dataset.category_byte_fractions(),
+        }
+    return result
+
+
+def _mean_mixes(
+    mixes: list[dict[HostingCategory, float]]
+) -> dict[HostingCategory, float]:
+    if not mixes:
+        return {category: 0.0 for category in HostingCategory}
+    return {
+        category: sum(mix[category] for mix in mixes) / len(mixes)
+        for category in HostingCategory
+    }
+
+
+def regional_breakdown(
+    dataset: GovernmentHostingDataset,
+    by_bytes: bool = False,
+    weighting: Weighting = "country",
+) -> dict[Region, dict[HostingCategory, float]]:
+    """Figure 4: category mix per World Bank region.
+
+    ``weighting='country'`` averages per-country mixes (each government
+    counts once); ``'url'`` pools all records of the region.
+    """
+    by_region: dict[Region, list] = {}
+    for code, country_dataset in dataset.countries.items():
+        if not country_dataset.records:
+            continue
+        region = get_country(code).region
+        by_region.setdefault(region, []).append(country_dataset)
+    result: dict[Region, dict[HostingCategory, float]] = {}
+    for region, country_datasets in by_region.items():
+        if weighting == "country":
+            mixes = [
+                cd.category_byte_fractions() if by_bytes else cd.category_url_fractions()
+                for cd in country_datasets
+            ]
+            result[region] = _mean_mixes(mixes)
+        else:
+            pooled = [record for cd in country_datasets for record in cd.records]
+            result[region] = category_fractions(pooled, by_bytes=by_bytes)
+    return result
+
+
+def country_majority(
+    dataset: GovernmentHostingDataset, by_bytes: bool = True
+) -> dict[str, str]:
+    """Figure 1: whether each country's traffic is majority third-party.
+
+    Returns ``"3P"`` or ``"Govt&SOE"`` per country code.
+    """
+    result: dict[str, str] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        mix = (
+            country_dataset.category_byte_fractions()
+            if by_bytes
+            else country_dataset.category_url_fractions()
+        )
+        third_party = sum(
+            share for category, share in mix.items() if category.is_third_party
+        )
+        result[code] = "3P" if third_party > 0.5 else "Govt&SOE"
+    return result
+
+
+__all__ = [
+    "Weighting",
+    "category_fractions",
+    "global_breakdown",
+    "country_breakdown",
+    "regional_breakdown",
+    "country_majority",
+]

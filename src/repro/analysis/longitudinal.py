@@ -1,0 +1,67 @@
+"""Longitudinal comparison of two measurement snapshots (extension).
+
+The paper's predecessor (Kumar et al., "Each at Its Own Pace") measured
+third-party dependency twice a year apart and found it *increasing*
+across countries.  This module compares two
+:class:`~repro.core.dataset.GovernmentHostingDataset` snapshots -- e.g.
+two worlds generated with different ``third_party_drift`` -- and
+reports per-country dependency deltas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.dataset import GovernmentHostingDataset
+
+
+@dataclasses.dataclass(frozen=True)
+class CountryDelta:
+    """Change in one country's third-party reliance between snapshots."""
+
+    country: str
+    third_party_before: float
+    third_party_after: float
+
+    @property
+    def delta(self) -> float:
+        return self.third_party_after - self.third_party_before
+
+
+def _third_party_share(dataset: GovernmentHostingDataset, code: str) -> float:
+    country_dataset = dataset.countries[code]
+    mix = country_dataset.category_url_fractions()
+    return sum(share for cat, share in mix.items() if cat.is_third_party)
+
+
+def compare_snapshots(
+    before: GovernmentHostingDataset,
+    after: GovernmentHostingDataset,
+) -> dict[str, CountryDelta]:
+    """Per-country third-party URL-share deltas between two snapshots."""
+    deltas: dict[str, CountryDelta] = {}
+    for code in sorted(set(before.countries) & set(after.countries)):
+        if not before.countries[code].records or not after.countries[code].records:
+            continue
+        deltas[code] = CountryDelta(
+            country=code,
+            third_party_before=_third_party_share(before, code),
+            third_party_after=_third_party_share(after, code),
+        )
+    return deltas
+
+
+def trend_summary(deltas: dict[str, CountryDelta]) -> dict[str, float]:
+    """Aggregate trend: mean delta and the share of countries increasing."""
+    if not deltas:
+        raise ValueError("no overlapping countries between snapshots")
+    values = [d.delta for d in deltas.values()]
+    increasing = sum(1 for v in values if v > 0)
+    return {
+        "mean_delta": sum(values) / len(values),
+        "share_increasing": increasing / len(values),
+        "countries": float(len(values)),
+    }
+
+
+__all__ = ["CountryDelta", "compare_snapshots", "trend_summary"]

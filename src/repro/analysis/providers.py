@@ -1,0 +1,124 @@
+"""Global-provider analyses (Section 7.1, Figure 10).
+
+Identifies Global providers from the measured dataset (non-government
+networks serving governments across multiple continents), counts how
+many countries rely on each, and computes per-(provider, country) byte
+reliance -- the inputs of Figure 10's histogram and CDF.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.dataset import GovernmentHostingDataset
+from repro.world.countries import COUNTRIES
+
+
+@dataclasses.dataclass(frozen=True)
+class ProviderFootprint:
+    """One Global provider's measured footprint."""
+
+    asn: int
+    name: str
+    country_count: int
+    countries: tuple[str, ...]
+
+
+def _continents_served(dataset: GovernmentHostingDataset) -> dict[int, set]:
+    continents: dict[int, set] = {}
+    for record in dataset.iter_records():
+        country = COUNTRIES.get(record.country)
+        if country is None:
+            continue
+        continents.setdefault(record.asn, set()).add(country.continent)
+    return continents
+
+
+def global_provider_asns(dataset: GovernmentHostingDataset) -> set[int]:
+    """ASNs meeting the Global definition in the measured data."""
+    continents = _continents_served(dataset)
+    gov_asns = {r.asn for r in dataset.iter_records() if r.gov_operated}
+    return {
+        asn
+        for asn, cset in continents.items()
+        if len(cset) >= 2 and asn not in gov_asns
+    }
+
+
+def global_provider_footprints(
+    dataset: GovernmentHostingDataset,
+) -> list[ProviderFootprint]:
+    """Figure 10 (histogram): countries relying on each Global provider."""
+    global_asns = global_provider_asns(dataset)
+    countries_by_asn: dict[int, set[str]] = {}
+    name_by_asn: dict[int, str] = {}
+    for record in dataset.iter_records():
+        if record.asn not in global_asns:
+            continue
+        countries_by_asn.setdefault(record.asn, set()).add(record.country)
+        name_by_asn.setdefault(record.asn, record.organization)
+    footprints = [
+        ProviderFootprint(
+            asn=asn,
+            name=name_by_asn[asn],
+            country_count=len(countries),
+            countries=tuple(sorted(countries)),
+        )
+        for asn, countries in countries_by_asn.items()
+    ]
+    footprints.sort(key=lambda fp: (-fp.country_count, fp.asn))
+    return footprints
+
+
+def provider_byte_reliance(
+    dataset: GovernmentHostingDataset,
+) -> dict[tuple[int, str], float]:
+    """Byte share each Global provider serves of each country's total.
+
+    The Figure 10 CDF is the distribution of these values; the text
+    highlights the top ones (Amazon 97% for an East Asian country,
+    Cloudflare 72% for an Eastern European one, Hetzner 57% for a
+    Scandinavian one).
+    """
+    global_asns = global_provider_asns(dataset)
+    country_totals: dict[str, int] = {}
+    pair_bytes: dict[tuple[int, str], int] = {}
+    for record in dataset.iter_records():
+        country_totals[record.country] = (
+            country_totals.get(record.country, 0) + record.size_bytes
+        )
+        if record.asn in global_asns:
+            key = (record.asn, record.country)
+            pair_bytes[key] = pair_bytes.get(key, 0) + record.size_bytes
+    return {
+        (asn, country): byte_count / country_totals[country]
+        for (asn, country), byte_count in sorted(pair_bytes.items())
+        if country_totals[country] > 0
+    }
+
+
+def top_reliances(
+    dataset: GovernmentHostingDataset, limit: int = 5
+) -> list[tuple[str, int, str, float]]:
+    """The highest per-country byte reliances on a single Global provider.
+
+    Returns (provider organization, asn, country, byte fraction).
+    """
+    reliance = provider_byte_reliance(dataset)
+    names: dict[int, str] = {}
+    for record in dataset.iter_records():
+        names.setdefault(record.asn, record.organization)
+    ranked = sorted(reliance.items(), key=lambda item: -item[1])[:limit]
+    return [
+        (names.get(asn, f"AS{asn}"), asn, country, fraction)
+        for (asn, country), fraction in ranked
+    ]
+
+
+__all__ = [
+    "ProviderFootprint",
+    "global_provider_asns",
+    "global_provider_footprints",
+    "provider_byte_reliance",
+    "top_reliances",
+]

@@ -1,0 +1,127 @@
+"""Domestic vs. international hosting (Section 6, Figures 6 and 8).
+
+Two views per government URL: the WHOIS country of registration of the
+serving organization, and the validated physical server location.
+URLs whose server location was excluded by the geolocation process are
+dropped from the location view only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.analysis.hosting import Weighting
+from repro.core.dataset import GovernmentHostingDataset, UrlRecord
+from repro.world.countries import get_country
+from repro.world.regions import Region
+
+
+@dataclasses.dataclass(frozen=True)
+class LocationSplit:
+    """Domestic/international fractions for one view."""
+
+    domestic: float
+    international: float
+
+    def __post_init__(self) -> None:
+        total = self.domestic + self.international
+        if total and abs(total - 1.0) > 1e-9:
+            raise ValueError("fractions must sum to 1 (or both be 0)")
+
+
+def _split(domestic_count: float, total: float) -> LocationSplit:
+    if total <= 0:
+        return LocationSplit(0.0, 0.0)
+    domestic = domestic_count / total
+    return LocationSplit(domestic=domestic, international=1.0 - domestic)
+
+
+def registration_split(records: Iterable[UrlRecord]) -> LocationSplit:
+    """WHOIS view over a pool of records."""
+    total = 0
+    domestic = 0
+    for record in records:
+        total += 1
+        if record.registration_domestic:
+            domestic += 1
+    return _split(domestic, total)
+
+
+def server_split(records: Iterable[UrlRecord]) -> LocationSplit:
+    """Server-location view; excluded records are skipped."""
+    total = 0
+    domestic = 0
+    for record in records:
+        if record.server_country is None:
+            continue
+        total += 1
+        if record.server_country == record.country:
+            domestic += 1
+    return _split(domestic, total)
+
+
+def global_split(dataset: GovernmentHostingDataset) -> dict[str, LocationSplit]:
+    """Figure 6: global WHOIS and geolocation splits."""
+    records = list(dataset.iter_records())
+    return {
+        "whois": registration_split(records),
+        "geolocation": server_split(records),
+    }
+
+
+def country_split(dataset: GovernmentHostingDataset) -> dict[str, dict[str, LocationSplit]]:
+    """Per-country WHOIS and geolocation splits."""
+    result: dict[str, dict[str, LocationSplit]] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        result[code] = {
+            "whois": registration_split(country_dataset.records),
+            "geolocation": server_split(country_dataset.records),
+        }
+    return result
+
+
+def regional_split(
+    dataset: GovernmentHostingDataset,
+    view: str = "geolocation",
+    weighting: Weighting = "country",
+) -> dict[Region, LocationSplit]:
+    """Figure 8: domestic/international split per region.
+
+    ``view`` selects registration ('whois') or server location
+    ('geolocation').
+    """
+    if view not in ("whois", "geolocation"):
+        raise ValueError(f"unknown view {view!r}")
+    split_fn = registration_split if view == "whois" else server_split
+    by_region: dict[Region, list] = {}
+    for code, country_dataset in dataset.countries.items():
+        if not country_dataset.records:
+            continue
+        by_region.setdefault(get_country(code).region, []).append(country_dataset)
+    result: dict[Region, LocationSplit] = {}
+    for region, country_datasets in by_region.items():
+        if weighting == "country":
+            splits = [split_fn(cd.records) for cd in country_datasets]
+            splits = [s for s in splits if s.domestic + s.international > 0]
+            if not splits:
+                result[region] = LocationSplit(0.0, 0.0)
+                continue
+            domestic = sum(s.domestic for s in splits) / len(splits)
+            result[region] = LocationSplit(domestic, 1.0 - domestic)
+        else:
+            pooled = [record for cd in country_datasets for record in cd.records]
+            result[region] = split_fn(pooled)
+    return result
+
+
+__all__ = [
+    "LocationSplit",
+    "registration_split",
+    "server_split",
+    "global_split",
+    "country_split",
+    "regional_split",
+]

@@ -1,0 +1,105 @@
+"""Outage-impact simulation (extension of Section 7.2).
+
+The paper motivates diversification as "reducing the risk of a digital
+shutdown caused by organizational failure" and cites the Mirai/Dyn
+incident (Kashaf et al.).  This module quantifies that risk directly:
+take one serving network offline and measure how much of each
+government's web estate becomes unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.dataset import GovernmentHostingDataset
+
+
+@dataclasses.dataclass(frozen=True)
+class OutageImpact:
+    """Effect of one AS failing on one country."""
+
+    country: str
+    asn: int
+    url_share_lost: float
+    byte_share_lost: float
+
+
+def outage_impact(
+    dataset: GovernmentHostingDataset, asn: int
+) -> dict[str, OutageImpact]:
+    """Per-country impact of taking ``asn`` offline."""
+    impacts: dict[str, OutageImpact] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        total_urls = len(country_dataset.records)
+        total_bytes = country_dataset.total_bytes
+        lost_urls = 0
+        lost_bytes = 0
+        for record in country_dataset.records:
+            if record.asn == asn:
+                lost_urls += 1
+                lost_bytes += record.size_bytes
+        if lost_urls == 0:
+            continue
+        impacts[code] = OutageImpact(
+            country=code,
+            asn=asn,
+            url_share_lost=lost_urls / total_urls,
+            byte_share_lost=lost_bytes / total_bytes if total_bytes else 0.0,
+        )
+    return impacts
+
+
+def single_points_of_failure(
+    dataset: GovernmentHostingDataset, threshold: float = 0.5
+) -> dict[str, tuple[int, float]]:
+    """Countries where one network's failure removes > ``threshold`` of bytes.
+
+    Returns ``country -> (asn, byte share lost)``.
+    """
+    result: dict[str, tuple[int, float]] = {}
+    for code, country_dataset in sorted(dataset.countries.items()):
+        if not country_dataset.records:
+            continue
+        by_asn: dict[int, int] = {}
+        for record in country_dataset.records:
+            by_asn[record.asn] = by_asn.get(record.asn, 0) + record.size_bytes
+        total = sum(by_asn.values())
+        if total == 0:
+            continue
+        top_asn = max(by_asn, key=by_asn.get)
+        share = by_asn[top_asn] / total
+        if share > threshold:
+            result[code] = (top_asn, share)
+    return result
+
+
+def worst_global_outage(
+    dataset: GovernmentHostingDataset,
+) -> tuple[int, int, float]:
+    """The single AS whose failure disrupts the most governments.
+
+    Returns ``(asn, governments affected above 10% of URLs, mean URL
+    share lost among affected countries)``.
+    """
+    asns = {record.asn for record in dataset.iter_records()}
+    worst = (0, 0, 0.0)
+    for asn in asns:
+        impacts = outage_impact(dataset, asn)
+        affected = [i for i in impacts.values() if i.url_share_lost > 0.10]
+        if not affected:
+            continue
+        mean_loss = sum(i.url_share_lost for i in affected) / len(affected)
+        candidate = (asn, len(affected), mean_loss)
+        if (candidate[1], candidate[2]) > (worst[1], worst[2]):
+            worst = candidate
+    return worst
+
+
+__all__ = [
+    "OutageImpact",
+    "outage_impact",
+    "single_points_of_failure",
+    "worst_global_outage",
+]

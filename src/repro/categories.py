@@ -1,0 +1,47 @@
+"""Hosting categories shared across the library.
+
+The paper classifies the serving infrastructure of every government URL
+into four categories (Section 5.1):
+
+* ``GOVT_SOE`` -- on-premise infrastructure operated by the government
+  itself or by a State-Owned Enterprise (IMF rule: >50% federal
+  ownership).
+* ``P3_LOCAL`` -- a third-party provider registered in the same country
+  as the government it serves.
+* ``P3_REGIONAL`` -- a third-party provider registered in a different
+  country whose footprint does not span beyond one continent.
+* ``P3_GLOBAL`` -- a third-party network serving governments across
+  multiple continents.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HostingCategory(enum.Enum):
+    """Serving-infrastructure category of a government URL."""
+
+    GOVT_SOE = "Govt&SOE"
+    P3_LOCAL = "3P Local"
+    P3_REGIONAL = "3P Regional"
+    P3_GLOBAL = "3P Global"
+
+    @property
+    def is_third_party(self) -> bool:
+        """True for any of the three third-party categories."""
+        return self is not HostingCategory.GOVT_SOE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Plot ordering used by the paper's stacked bar charts.
+CATEGORY_ORDER = [
+    HostingCategory.GOVT_SOE,
+    HostingCategory.P3_LOCAL,
+    HostingCategory.P3_GLOBAL,
+    HostingCategory.P3_REGIONAL,
+]
+
+__all__ = ["HostingCategory", "CATEGORY_ORDER"]

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+``repro-gov`` drives the whole reproduction from a shell::
+
+    repro-gov run --scale 0.05 --out dataset.jsonl   # generate + measure + save
+    repro-gov report dataset.jsonl                   # analyses over a saved run
+    repro-gov report dataset.jsonl --section providers
+    repro-gov inspect --hostname www.gub.uy          # one hostname end to end
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.reporting.tables import render_table
+
+_SECTIONS = ("summary", "global", "regional", "domestic", "providers",
+             "diversification", "full")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gov",
+        description="Reproduction of 'Of Choices and Control' (IMC 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="generate a synthetic world, measure it, save the dataset"
+    )
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--scale", type=float, default=0.05,
+                     help="fraction of the paper's dataset size")
+    run.add_argument("--countries", nargs="*", metavar="CC",
+                     help="restrict to these country codes")
+    run.add_argument("--out", metavar="PATH",
+                     help="write the dataset as JSON lines")
+    run.add_argument("--csv", metavar="PATH",
+                     help="also export a flat CSV")
+
+    report = subparsers.add_parser(
+        "report", help="print analyses over a saved dataset"
+    )
+    report.add_argument("dataset", metavar="PATH")
+    report.add_argument("--section", choices=_SECTIONS, default="summary")
+
+    inspect = subparsers.add_parser(
+        "inspect", help="trace one hostname through the pipeline"
+    )
+    inspect.add_argument("--hostname", required=True)
+    inspect.add_argument("--seed", type=int, default=42)
+    inspect.add_argument("--scale", type=float, default=0.04)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = WorldConfig(
+        seed=args.seed, scale=args.scale,
+        countries=args.countries or None,
+    )
+    world = SyntheticWorld.generate(config)
+    dataset = Pipeline(world).run()
+    summary = dataset.summarize()
+    print(f"measured {summary.total_unique_urls:,} URLs over "
+          f"{summary.unique_hostnames:,} hostnames "
+          f"({summary.ases} ASes, {summary.unique_addresses} addresses)")
+    if args.out:
+        from repro.io import save_dataset
+
+        written = save_dataset(dataset, args.out)
+        print(f"wrote {written:,} records to {args.out}")
+    if args.csv:
+        from repro.io import export_csv
+
+        written = export_csv(dataset, args.csv)
+        print(f"wrote {written:,} rows to {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.io import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    if args.section == "summary":
+        summary = dataset.summarize()
+        rows = [[field, f"{getattr(summary, field):,}"]
+                for field in ("landing_urls", "internal_urls",
+                              "total_unique_urls", "unique_hostnames", "ases",
+                              "government_ases", "unique_addresses",
+                              "anycast_addresses", "countries_with_servers")]
+        print(render_table(["quantity", "value"], rows, title="Dataset summary"))
+    elif args.section == "global":
+        from repro.analysis import global_breakdown
+        from repro.categories import CATEGORY_ORDER
+
+        breakdown = global_breakdown(dataset)
+        rows = [[str(c), f"{breakdown['urls'][c]:.2f}",
+                 f"{breakdown['bytes'][c]:.2f}"] for c in CATEGORY_ORDER]
+        print(render_table(["category", "URLs", "bytes"], rows,
+                           title="Global hosting mix (Figure 2)"))
+    elif args.section == "regional":
+        from repro.analysis import regional_breakdown
+        from repro.categories import CATEGORY_ORDER
+
+        regional = regional_breakdown(dataset)
+        rows = [
+            [region.name] + [f"{mix[c]:.2f}" for c in CATEGORY_ORDER]
+            for region, mix in sorted(regional.items(), key=lambda kv: kv[0].name)
+        ]
+        print(render_table(
+            ["region"] + [str(c) for c in CATEGORY_ORDER], rows,
+            title="Regional hosting mixes (Figure 4)",
+        ))
+    elif args.section == "domestic":
+        from repro.analysis import global_split
+
+        splits = global_split(dataset)
+        rows = [[view, f"{split.domestic:.2f}", f"{split.international:.2f}"]
+                for view, split in splits.items()]
+        print(render_table(["view", "domestic", "international"], rows,
+                           title="Domestic vs international (Figure 6)"))
+    elif args.section == "providers":
+        from repro.analysis import global_provider_footprints
+
+        rows = [[fp.name, f"AS{fp.asn}", fp.country_count]
+                for fp in global_provider_footprints(dataset)[:15]]
+        print(render_table(["provider", "asn", "countries"], rows,
+                           title="Global providers (Figure 10)"))
+    elif args.section == "full":
+        from repro.reporting.paper_report import render_paper_report
+
+        print(render_paper_report(dataset))
+    elif args.section == "diversification":
+        from repro.analysis import single_network_dependence
+
+        rows = [[str(category), f"{above}/{total}"]
+                for category, (above, total)
+                in single_network_dependence(dataset).items()]
+        print(render_table(["dominant source", ">50% on one network"], rows,
+                           title="Diversification (Figure 11)"))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    world = SyntheticWorld.generate(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    )
+    pipeline = Pipeline(world)
+    hostname = args.hostname.lower()
+    truth = world.truth.hosts.get(hostname)
+    if truth is None:
+        print(f"error: unknown hostname {hostname!r}", file=sys.stderr)
+        return 1
+    vantage = world.vpn.vantage_for(truth.country)
+    info = pipeline.mapper.map_host(hostname, vantage)
+    verdict = pipeline.geolocator.locate(info.address, truth.country)
+    ownership = pipeline.ownership.classify(info.asn)
+    from repro.netsim.ipaddr import format_ip
+
+    rows = [
+        ["hostname", hostname],
+        ["government", truth.country],
+        ["address", format_ip(info.address)],
+        ["asn", info.asn],
+        ["organization", info.organization],
+        ["registration", info.registered_country],
+        ["government-operated", ownership.is_government],
+        ["server location", verdict.country or "excluded"],
+        ["validation", verdict.method.value],
+    ]
+    print(render_table(["field", "value"], rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-gov`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's methodology pipeline (Section 3).
+
+Gathering government sites, crawling them seven levels deep through
+in-country vantage points, filtering internal government URLs,
+identifying the serving infrastructure, classifying network ownership,
+geolocating servers and assembling the final dataset.
+"""
+
+from repro.core.har import HarEntry, HarArchive
+from repro.core.gathering import GovernmentDirectory, compile_directory
+from repro.core.crawler import Crawler, CrawlResult
+from repro.core.urlfilter import GovernmentUrlFilter, FilterOutcome, FilterVia
+from repro.core.infrastructure import InfrastructureMapper, HostInfrastructure
+from repro.core.asclassify import GovernmentASClassifier, Evidence
+from repro.core.geolocation import Geolocator, GeoVerdict, ValidationMethod, ValidationStats
+from repro.core.classification import CategoryClassifier
+from repro.core.dataset import UrlRecord, CountryDataset, GovernmentHostingDataset
+from repro.core.pipeline import Pipeline
+
+__all__ = [
+    "HarEntry",
+    "HarArchive",
+    "GovernmentDirectory",
+    "compile_directory",
+    "Crawler",
+    "CrawlResult",
+    "GovernmentUrlFilter",
+    "FilterOutcome",
+    "FilterVia",
+    "InfrastructureMapper",
+    "HostInfrastructure",
+    "GovernmentASClassifier",
+    "Evidence",
+    "Geolocator",
+    "GeoVerdict",
+    "ValidationMethod",
+    "ValidationStats",
+    "CategoryClassifier",
+    "UrlRecord",
+    "CountryDataset",
+    "GovernmentHostingDataset",
+    "Pipeline",
+]

@@ -1,0 +1,154 @@
+"""Government ownership classification of autonomous systems (Section 3.4).
+
+There is no dataset annotating government networks, so the paper
+manually examines every observed AS, cascading through:
+
+1. **PeeringDB** -- indicators in the network name, organization or
+   notes (e.g. AS26810 -> "U.S. Dept. of Health and Human Services");
+2. the **website** reported on the PeeringDB record;
+3. **WHOIS** -- organization names referring to the government, or
+   contact e-mail domains under a government domain (".gov" and
+   friends);
+4. **web search** -- looking up the operator's site to catch
+   state-owned enterprises whose names carry no government hint
+   (e.g. AS27655, Yacimientos Petroliferos Fiscales).
+
+This module mechanizes that cascade with multilingual keyword matching
+over the same fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+from typing import Mapping, Optional
+
+from repro.core.urlfilter import GOV_TLD_TOKENS
+from repro.measure.peeringdb import PeeringDb
+from repro.netsim.whois import WhoisService
+from repro.urltools import labels_of
+
+#: Multilingual keywords revealing government or state ownership; matched on
+#: word boundaries to avoid substrings (e.g. "international" != "nation").
+_GOV_KEYWORDS = (
+    "ministry", "ministerio", "ministere", "government", "governmental",
+    "federal", "presidency", "parliament", "secretaria", "bundesamt",
+    "national", "state-owned", "dept", "department", "administration",
+    "directorate", "municipality",
+)
+
+_KEYWORD_RE = re.compile(
+    r"\b(" + "|".join(re.escape(keyword) for keyword in _GOV_KEYWORDS) + r")\b",
+    re.IGNORECASE,
+)
+
+_WEBSEARCH_RE = re.compile(
+    r"\b(state-owned|government|federal|ministry|majority stake)\b",
+    re.IGNORECASE,
+)
+
+
+class Evidence(enum.Enum):
+    """Which source established government ownership."""
+
+    PEERINGDB_TEXT = "peeringdb text"
+    PEERINGDB_WEBSITE = "peeringdb website"
+    WHOIS_ORG = "whois organization"
+    WHOIS_EMAIL = "whois e-mail domain"
+    WEB_SEARCH = "web search"
+
+
+@dataclasses.dataclass(frozen=True)
+class OwnershipVerdict:
+    """Classification result for one AS."""
+
+    asn: int
+    is_government: bool
+    evidence: Optional[Evidence] = None
+
+
+def _text_has_gov_keyword(text: str) -> bool:
+    return bool(_KEYWORD_RE.search(text))
+
+
+def _domain_is_governmental(domain: str) -> bool:
+    """Whether a domain carries a government token label (e.g. gov.br)."""
+    return any(label in GOV_TLD_TOKENS for label in labels_of(domain))
+
+
+class GovernmentASClassifier:
+    """Implements the ownership cascade over the measurement substrate."""
+
+    def __init__(
+        self,
+        peeringdb: PeeringDb,
+        whois: WhoisService,
+        websearch: Mapping[str, str],
+    ) -> None:
+        self._peeringdb = peeringdb
+        self._whois = whois
+        self._websearch = websearch
+        self._cache: dict[int, OwnershipVerdict] = {}
+
+    def classify(self, asn: int) -> OwnershipVerdict:
+        """Classify one AS; results are memoized."""
+        cached = self._cache.get(asn)
+        if cached is not None:
+            return cached
+        verdict = self._classify_uncached(asn)
+        self._cache[asn] = verdict
+        return verdict
+
+    def is_government(self, asn: int) -> bool:
+        """Convenience wrapper over :meth:`classify`."""
+        return self.classify(asn).is_government
+
+    def _classify_uncached(self, asn: int) -> OwnershipVerdict:
+        # Step 1: PeeringDB text fields.
+        record = self._peeringdb.lookup(asn)
+        websites: list[str] = []
+        if record is not None:
+            if any(_text_has_gov_keyword(field) for field in record.text_fields()):
+                return OwnershipVerdict(asn, True, Evidence.PEERINGDB_TEXT)
+            if record.website:
+                websites.append(record.website)
+                if self._website_reveals_government(record.website):
+                    return OwnershipVerdict(asn, True, Evidence.PEERINGDB_WEBSITE)
+
+        # Step 2: WHOIS organization and contact e-mail.
+        whois_attrs = self._whois.query_asn(asn)
+        organization = whois_attrs.get("org") or ""
+        if _text_has_gov_keyword(organization) and not self._looks_commercial(organization):
+            return OwnershipVerdict(asn, True, Evidence.WHOIS_ORG)
+        email = whois_attrs.get("email") or ""
+        if "@" in email and _domain_is_governmental(email.split("@", 1)[1]):
+            return OwnershipVerdict(asn, True, Evidence.WHOIS_EMAIL)
+
+        # Step 3: web search via the WHOIS-reported website.
+        website = whois_attrs.get("website")
+        if website:
+            websites.append(website)
+        for site in websites:
+            if self._website_reveals_government(site):
+                return OwnershipVerdict(asn, True, Evidence.WEB_SEARCH)
+        return OwnershipVerdict(asn, False)
+
+    def _website_reveals_government(self, website: str) -> bool:
+        """Look the website up in the search corpus and scan the snippet."""
+        description = self._websearch.get(website)
+        if description is None:
+            # The website URL itself may sit under a government domain.
+            host = website.split("//", 1)[-1].split("/", 1)[0]
+            return _domain_is_governmental(host)
+        return bool(_WEBSEARCH_RE.search(description))
+
+    @staticmethod
+    def _looks_commercial(organization: str) -> bool:
+        """Guard against 'national'-style keywords in commercial names."""
+        lowered = organization.lower()
+        return any(marker in lowered for marker in ("hosting", "cloud", "cdn",
+                                                    "colocation", "telecom inc"))
+
+
+__all__ = ["Evidence", "OwnershipVerdict", "GovernmentASClassifier"]

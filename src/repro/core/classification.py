@@ -1,0 +1,80 @@
+"""Hosting-category classification (Section 5.1).
+
+Combines government-ownership verdicts with provider footprints to sort
+every (government, serving AS) pair into the four categories:
+
+* ``Govt&SOE`` -- the operator is government-owned;
+* ``3P Global`` -- a network serving governments across multiple
+  continents;
+* ``3P Local`` -- registered in the same country as the government it
+  serves;
+* ``3P Regional`` -- registered elsewhere, footprint within one
+  continent.
+
+The Global test uses the *observed* footprint -- the set of continents
+of the governments an AS serves in the collected dataset -- mirroring
+the paper's operational definition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.categories import HostingCategory
+from repro.core.asclassify import GovernmentASClassifier
+from repro.world.countries import COUNTRIES
+from repro.world.regions import Continent
+
+
+class CategoryClassifier:
+    """Categorizes serving infrastructure once footprints are known."""
+
+    def __init__(self, ownership: GovernmentASClassifier) -> None:
+        self._ownership = ownership
+        self._continents_by_asn: dict[int, set[Continent]] = {}
+
+    def observe(self, asn: int, government_country: str) -> None:
+        """Record that ``asn`` serves the government of a country."""
+        country = COUNTRIES.get(government_country.upper())
+        if country is None:
+            return
+        self._continents_by_asn.setdefault(asn, set()).add(country.continent)
+
+    def observe_all(self, pairs: Iterable[tuple[int, str]]) -> None:
+        """Bulk version of :meth:`observe`."""
+        for asn, government_country in pairs:
+            self.observe(asn, government_country)
+
+    def footprint(self, asn: int) -> frozenset[Continent]:
+        """Continents of the governments ``asn`` serves in the dataset."""
+        return frozenset(self._continents_by_asn.get(asn, set()))
+
+    def is_global_provider(self, asn: int) -> bool:
+        """Whether ``asn`` meets the paper's Global definition."""
+        return len(self._continents_by_asn.get(asn, ())) >= 2
+
+    def categorize(
+        self,
+        asn: int,
+        registered_country: str,
+        government_country: str,
+    ) -> HostingCategory:
+        """Category of one (government, serving AS) pair."""
+        if self._ownership.is_government(asn):
+            return HostingCategory.GOVT_SOE
+        if self.is_global_provider(asn):
+            return HostingCategory.P3_GLOBAL
+        if registered_country.upper() == government_country.upper():
+            return HostingCategory.P3_LOCAL
+        return HostingCategory.P3_REGIONAL
+
+    def global_provider_asns(self) -> list[int]:
+        """All ASNs classified Global by footprint (and not government)."""
+        return sorted(
+            asn
+            for asn, continents in self._continents_by_asn.items()
+            if len(continents) >= 2 and not self._ownership.is_government(asn)
+        )
+
+
+__all__ = ["CategoryClassifier"]

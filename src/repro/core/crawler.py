@@ -1,0 +1,100 @@
+"""Recursive crawling of government sites (Section 3.2).
+
+Starting from each landing URL, the crawler renders pages through the
+in-country VPN vantage and follows internal links breadth-first up to
+seven levels deep (the threshold Singanamalla et al. established),
+consolidating every fetched object into a per-country HAR archive.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.core.har import HarArchive
+from repro.measure.vpn import VantagePoint
+from repro.websim.browser import Browser
+from repro.websim.webserver import GeoBlockedError, PageNotFoundError
+
+#: Crawl depth used by the study.
+DEFAULT_MAX_DEPTH = 7
+
+
+@dataclasses.dataclass
+class CrawlResult:
+    """Everything collected while crawling one country."""
+
+    country: str
+    archive: HarArchive
+    #: Depth at which each unique URL was first observed.
+    depth_of: dict[str, int]
+    #: URLs that could not be fetched (missing page, geo-block).
+    failed_urls: list[str]
+    #: Number of page loads performed.
+    page_loads: int
+
+    def urls_at_depth(self, depth: int) -> int:
+        """Number of unique URLs first seen at ``depth``."""
+        return sum(1 for d in self.depth_of.values() if d == depth)
+
+    def depth_histogram(self) -> dict[int, int]:
+        """URL counts per discovery depth."""
+        histogram: dict[int, int] = {}
+        for depth in self.depth_of.values():
+            histogram[depth] = histogram.get(depth, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+class Crawler:
+    """Breadth-first site crawler driving the Selenium-equivalent browser."""
+
+    def __init__(self, browser: Browser, max_depth: int = DEFAULT_MAX_DEPTH) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        self._browser = browser
+        self._max_depth = max_depth
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    def crawl(self, seeds: list[str], vantage: VantagePoint) -> CrawlResult:
+        """Crawl every seed URL and its internal pages from ``vantage``."""
+        archive = HarArchive(country=vantage.country)
+        depth_of: dict[str, int] = {}
+        failed: list[str] = []
+        visited_pages: set[str] = set()
+        page_loads = 0
+
+        queue: collections.deque[tuple[str, int]] = collections.deque(
+            (seed, 0) for seed in seeds
+        )
+        while queue:
+            url, depth = queue.popleft()
+            if url in visited_pages:
+                continue
+            visited_pages.add(url)
+            try:
+                load = self._browser.load(url, vantage)
+            except (PageNotFoundError, GeoBlockedError):
+                failed.append(url)
+                continue
+            page_loads += 1
+            for entry in load.entries:
+                if archive.add(entry):
+                    depth_of[entry.url] = depth
+            if depth < self._max_depth:
+                for link in load.links:
+                    if link not in visited_pages:
+                        queue.append((link, depth + 1))
+
+        return CrawlResult(
+            country=vantage.country,
+            archive=archive,
+            depth_of=depth_of,
+            failed_urls=failed,
+            page_loads=page_loads,
+        )
+
+
+__all__ = ["DEFAULT_MAX_DEPTH", "CrawlResult", "Crawler"]

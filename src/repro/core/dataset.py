@@ -1,0 +1,199 @@
+"""The assembled government hosting dataset (Section 4).
+
+One :class:`UrlRecord` per unique government URL, annotated with the
+full Table 2 information (address, AS, organization, registration) plus
+the hosting category, the validated server location and the validation
+method -- everything the Section 5-7 analyses consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.categories import HostingCategory
+from repro.core.geolocation import ValidationMethod, ValidationStats
+from repro.core.urlfilter import FilterVia
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class UrlRecord:
+    """One unique government URL with its serving-infrastructure annotations."""
+
+    url: str
+    hostname: str
+    country: str
+    size_bytes: int
+    via: FilterVia
+    depth: int
+    address: int
+    asn: int
+    organization: str
+    registered_country: str
+    gov_operated: bool
+    category: HostingCategory
+    #: Validated server country; None when geolocation excluded the address.
+    server_country: Optional[str]
+    anycast: bool
+    validation: ValidationMethod
+
+    @property
+    def excluded(self) -> bool:
+        """Whether the record is dropped from location-based analyses."""
+        return self.server_country is None
+
+    @property
+    def registration_domestic(self) -> bool:
+        """Registered in the same country as the government (Figure 6)."""
+        return self.registered_country == self.country
+
+    @property
+    def server_domestic(self) -> Optional[bool]:
+        """Server located in the government's country (None if excluded)."""
+        if self.server_country is None:
+            return None
+        return self.server_country == self.country
+
+
+@dataclasses.dataclass
+class CountryDataset:
+    """All records collected for one country, plus crawl bookkeeping."""
+
+    country: str
+    landing_count: int
+    records: list[UrlRecord]
+    discarded_url_count: int
+    unresolved_hostnames: list[str]
+    depth_histogram: dict[int, int]
+
+    @property
+    def url_count(self) -> int:
+        """Unique government URLs (landing + internal)."""
+        return len(self.records)
+
+    @property
+    def internal_count(self) -> int:
+        """Internal URLs: everything beyond the landing pages."""
+        return max(0, len(self.records) - self.landing_count)
+
+    @property
+    def hostnames(self) -> set[str]:
+        """Unique government hostnames observed."""
+        return {record.hostname for record in self.records}
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.size_bytes for record in self.records)
+
+    def included_records(self) -> list[UrlRecord]:
+        """Records whose server location was validated (analysis input)."""
+        return [record for record in self.records if not record.excluded]
+
+    def category_url_fractions(self) -> dict[HostingCategory, float]:
+        """Fraction of URLs per hosting category."""
+        return _fractions(self.records, by_bytes=False)
+
+    def category_byte_fractions(self) -> dict[HostingCategory, float]:
+        """Fraction of bytes per hosting category."""
+        return _fractions(self.records, by_bytes=True)
+
+
+def _fractions(
+    records: list[UrlRecord], by_bytes: bool
+) -> dict[HostingCategory, float]:
+    totals = {category: 0.0 for category in HostingCategory}
+    for record in records:
+        totals[record.category] += record.size_bytes if by_bytes else 1.0
+    grand_total = sum(totals.values())
+    if grand_total == 0:
+        return totals
+    return {category: value / grand_total for category, value in totals.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSummary:
+    """The Table 3 headline numbers."""
+
+    landing_urls: int
+    internal_urls: int
+    total_unique_urls: int
+    unique_hostnames: int
+    ases: int
+    government_ases: int
+    unique_addresses: int
+    anycast_addresses: int
+    countries_with_servers: int
+
+
+@dataclasses.dataclass
+class GovernmentHostingDataset:
+    """The full multi-country dataset produced by the pipeline."""
+
+    countries: dict[str, CountryDataset]
+    validation: ValidationStats
+
+    def iter_records(self) -> Iterator[UrlRecord]:
+        """Every record across all countries."""
+        for dataset in self.countries.values():
+            yield from dataset.records
+
+    def iter_included(self) -> Iterator[UrlRecord]:
+        """Every record with a validated server location."""
+        for record in self.iter_records():
+            if not record.excluded:
+                yield record
+
+    def country(self, code: str) -> CountryDataset:
+        """Dataset of one country."""
+        return self.countries[code.upper()]
+
+    def summarize(self) -> DatasetSummary:
+        """Compute the Table 3 headline numbers from the records."""
+        landing = sum(ds.landing_count for ds in self.countries.values())
+        total = sum(ds.url_count for ds in self.countries.values())
+        hostnames: set[str] = set()
+        asns: set[int] = set()
+        gov_asns: set[int] = set()
+        addresses: set[int] = set()
+        anycast_addresses: set[int] = set()
+        server_countries: set[str] = set()
+        for record in self.iter_records():
+            hostnames.add(record.hostname)
+            asns.add(record.asn)
+            if record.gov_operated:
+                gov_asns.add(record.asn)
+            addresses.add(record.address)
+            if record.anycast:
+                anycast_addresses.add(record.address)
+            if record.server_country is not None:
+                server_countries.add(record.server_country)
+        return DatasetSummary(
+            landing_urls=landing,
+            internal_urls=max(0, total - landing),
+            total_unique_urls=total,
+            unique_hostnames=len(hostnames),
+            ases=len(asns),
+            government_ases=len(gov_asns),
+            unique_addresses=len(addresses),
+            anycast_addresses=len(anycast_addresses),
+            countries_with_servers=len(server_countries),
+        )
+
+    def per_country_stats(self) -> dict[str, dict[str, int]]:
+        """Per-country landing/internal/hostname counts (Table 8)."""
+        stats: dict[str, dict[str, int]] = {}
+        for code, dataset in sorted(self.countries.items()):
+            stats[code] = {
+                "landing_urls": dataset.landing_count,
+                "internal_urls": dataset.internal_count,
+                "hostnames": len(dataset.hostnames),
+            }
+        return stats
+
+
+__all__ = [
+    "UrlRecord",
+    "CountryDataset",
+    "DatasetSummary",
+    "GovernmentHostingDataset",
+]

@@ -1,0 +1,270 @@
+"""Server geolocation (Section 3.5).
+
+The four-step process of the paper:
+
+1. query the IPInfo database for every address;
+2. identify anycast addresses using the MAnycast2 snapshot;
+3. verify country-level geolocation by active probing: up to five
+   RIPE-Atlas probes in the relevant country send three pings each and
+   the minimum RTT is compared against a per-country threshold derived
+   from the road distance between the country's two furthest cities;
+4. for unicast addresses failing step 3, fall back to a multistage
+   process -- HOIHO PTR geohints, RIPE IPmap's cache, then
+   single-radius probing -- and *exclude* addresses whose multistage
+   location conflicts with IPInfo, or that remain unresolved.
+
+Anycast addresses are validated per vantage country: if the minimum
+in-country latency beats the country threshold, the anycast service has
+sites within the country; otherwise the address is excluded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.measure.atlas import AtlasClient
+from repro.measure.hoiho import HoihoExtractor
+from repro.measure.ipinfo import IpInfoDatabase
+from repro.measure.ipmap import IpMapCache
+from repro.measure.manycast import MAnycastSnapshot
+from repro.netsim.latency import country_threshold_ms
+from repro.world.geography import road_span_km
+
+#: Acceptance radius for the single-radius fallback: the target must be
+#: within a few hundred kilometres of some probe.
+DEFAULT_SINGLE_RADIUS_MS = 10.0
+
+
+class ValidationMethod(enum.Enum):
+    """How a location was (or was not) validated -- the Table 4 columns."""
+
+    ACTIVE_PROBING = "AP"
+    MULTISTAGE = "MG"
+    UNRESOLVED = "UR"
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoVerdict:
+    """Geolocation outcome for one address (for one country, if anycast)."""
+
+    address: int
+    #: Validated country, or None when the address is excluded.
+    country: Optional[str]
+    method: ValidationMethod
+    anycast: bool
+    #: IPInfo's claim (step 1), informational.
+    claimed_country: Optional[str]
+    #: Whether multistage geolocation contradicted IPInfo (exclusion cause).
+    conflict: bool = False
+
+    @property
+    def excluded(self) -> bool:
+        """Addresses without a validated location are dropped from analysis."""
+        return self.country is None
+
+
+@dataclasses.dataclass
+class ValidationStats:
+    """Tallies reproducing Table 4 of the paper."""
+
+    unicast_ap: int = 0
+    unicast_mg: int = 0
+    unicast_unresolved: int = 0
+    unicast_conflicts: int = 0
+    anycast_ap: int = 0
+    anycast_unresolved: int = 0
+
+    @property
+    def unicast_total(self) -> int:
+        return self.unicast_ap + self.unicast_mg + self.unicast_unresolved
+
+    @property
+    def anycast_total(self) -> int:
+        return self.anycast_ap + self.anycast_unresolved
+
+    def table4(self) -> dict[str, dict[str, float]]:
+        """Fractions of addresses validated by AP and MG, or unresolved."""
+        def fractions(ap: int, mg: int, unresolved: int) -> dict[str, float]:
+            total = ap + mg + unresolved
+            if total == 0:
+                return {"AP": 0.0, "MG": 0.0, "UR": 0.0}
+            return {"AP": ap / total, "MG": mg / total, "UR": unresolved / total}
+
+        return {
+            "unicast": fractions(self.unicast_ap, self.unicast_mg,
+                                 self.unicast_unresolved),
+            "anycast": fractions(self.anycast_ap, 0, self.anycast_unresolved),
+        }
+
+
+class Geolocator:
+    """Runs the four-step geolocation process over the measurement tools."""
+
+    def __init__(
+        self,
+        ipinfo: IpInfoDatabase,
+        manycast: MAnycastSnapshot,
+        atlas: AtlasClient,
+        hoiho: HoihoExtractor,
+        ipmap: IpMapCache,
+        single_radius_ms: float = DEFAULT_SINGLE_RADIUS_MS,
+        threshold_slack_ms: float = 10.0,
+        #: Ablation switches (see benchmarks/bench_ablation_geolocation.py).
+        enable_active_probing: bool = True,
+        enable_hoiho: bool = True,
+        enable_ipmap: bool = True,
+        enable_single_radius: bool = True,
+        #: Ablation: replace the per-country road-distance thresholds of
+        #: Section 3.5 with one fixed global threshold (milliseconds).
+        fixed_threshold_ms: Optional[float] = None,
+    ) -> None:
+        self._ipinfo = ipinfo
+        self._manycast = manycast
+        self._atlas = atlas
+        self._hoiho = hoiho
+        self._ipmap = ipmap
+        self._single_radius_ms = single_radius_ms
+        self._slack_ms = threshold_slack_ms
+        self._enable_ap = enable_active_probing
+        self._enable_hoiho = enable_hoiho
+        self._enable_ipmap = enable_ipmap
+        self._enable_single_radius = enable_single_radius
+        self._fixed_threshold_ms = fixed_threshold_ms
+        self._thresholds: dict[str, float] = {}
+        self._unicast_cache: dict[int, GeoVerdict] = {}
+        self._anycast_cache: dict[tuple[int, str], GeoVerdict] = {}
+        self._counted: set[int] = set()
+        self.stats = ValidationStats()
+
+    # ------------------------------------------------------------------ API
+
+    def is_anycast(self, address: int) -> bool:
+        """Step 2: whether the MAnycast2 snapshot flags the address."""
+        return self._manycast.is_anycast(address)
+
+    def locate(self, address: int, vantage_country: str) -> GeoVerdict:
+        """Geolocate an address observed by ``vantage_country``'s crawl."""
+        if self.is_anycast(address):
+            return self.locate_anycast(address, vantage_country)
+        return self.locate_unicast(address)
+
+    def locate_unicast(self, address: int) -> GeoVerdict:
+        """Steps 1, 3 and 4 for a unicast address (memoized)."""
+        cached = self._unicast_cache.get(address)
+        if cached is not None:
+            return cached
+        verdict = self._locate_unicast_uncached(address)
+        self._unicast_cache[address] = verdict
+        self._tally_unicast(verdict)
+        return verdict
+
+    def locate_anycast(self, address: int, country: str) -> GeoVerdict:
+        """Step 3 for an anycast address as seen from ``country``."""
+        key = (address, country)
+        cached = self._anycast_cache.get(key)
+        if cached is not None:
+            return cached
+        rtt = self._atlas.min_rtt_from_country(country, address)
+        within = rtt is not None and rtt < self._threshold(country)
+        if within:
+            verdict = GeoVerdict(
+                address=address, country=country,
+                method=ValidationMethod.ACTIVE_PROBING, anycast=True,
+                claimed_country=self._ipinfo.country_of(address),
+            )
+        else:
+            verdict = GeoVerdict(
+                address=address, country=None,
+                method=ValidationMethod.UNRESOLVED, anycast=True,
+                claimed_country=self._ipinfo.country_of(address),
+            )
+        self._anycast_cache[key] = verdict
+        if address not in self._counted:
+            self._counted.add(address)
+            if within:
+                self.stats.anycast_ap += 1
+            else:
+                self.stats.anycast_unresolved += 1
+        return verdict
+
+    # ------------------------------------------------------------- internals
+
+    def _threshold(self, country: str) -> float:
+        if self._fixed_threshold_ms is not None:
+            return self._fixed_threshold_ms
+        threshold = self._thresholds.get(country)
+        if threshold is None:
+            threshold = country_threshold_ms(
+                road_span_km(country), slack_ms=self._slack_ms
+            )
+            self._thresholds[country] = threshold
+        return threshold
+
+    def _locate_unicast_uncached(self, address: int) -> GeoVerdict:
+        claimed = self._ipinfo.country_of(address)
+        if claimed is not None and self._enable_ap:
+            rtt = self._atlas.min_rtt_from_country(claimed, address)
+            if rtt is not None and rtt < self._threshold(claimed):
+                return GeoVerdict(
+                    address=address, country=claimed,
+                    method=ValidationMethod.ACTIVE_PROBING, anycast=False,
+                    claimed_country=claimed,
+                )
+        hint = self._multistage_hint(address)
+        if hint is None:
+            return GeoVerdict(
+                address=address, country=None,
+                method=ValidationMethod.UNRESOLVED, anycast=False,
+                claimed_country=claimed,
+            )
+        if claimed is not None and hint != claimed:
+            # Conservative exclusion: multistage contradicts IPInfo.
+            return GeoVerdict(
+                address=address, country=None,
+                method=ValidationMethod.MULTISTAGE, anycast=False,
+                claimed_country=claimed, conflict=True,
+            )
+        return GeoVerdict(
+            address=address, country=hint,
+            method=ValidationMethod.MULTISTAGE, anycast=False,
+            claimed_country=claimed,
+        )
+
+    def _multistage_hint(self, address: int) -> Optional[str]:
+        """Step 4: HOIHO, then IPmap, then single-radius probing."""
+        if self._enable_hoiho:
+            hint = self._hoiho.country_hint(address)
+            if hint is not None:
+                return hint
+        if self._enable_ipmap:
+            hint = self._ipmap.lookup(address)
+            if hint is not None:
+                return hint
+        if self._enable_single_radius:
+            best = self._atlas.nearest_probe_rtt(address)
+            if best is not None and best.min_rtt_ms is not None:
+                if best.min_rtt_ms < self._single_radius_ms:
+                    return best.probe.country
+        return None
+
+    def _tally_unicast(self, verdict: GeoVerdict) -> None:
+        if verdict.method is ValidationMethod.ACTIVE_PROBING:
+            self.stats.unicast_ap += 1
+        elif verdict.method is ValidationMethod.MULTISTAGE and not verdict.conflict:
+            self.stats.unicast_mg += 1
+        elif verdict.conflict:
+            self.stats.unicast_conflicts += 1
+            self.stats.unicast_unresolved += 1
+        else:
+            self.stats.unicast_unresolved += 1
+
+
+__all__ = [
+    "DEFAULT_SINGLE_RADIUS_MS",
+    "ValidationMethod",
+    "GeoVerdict",
+    "ValidationStats",
+    "Geolocator",
+]

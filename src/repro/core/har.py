@@ -1,0 +1,10 @@
+"""HTTP Archive records (re-export).
+
+The HAR data structures live in :mod:`repro.har` so the browser substrate
+can produce them without importing the pipeline package; they are
+re-exported here to keep the pipeline's public surface in one place.
+"""
+
+from repro.har import HarEntry, HarArchive
+
+__all__ = ["HarEntry", "HarArchive"]

@@ -1,0 +1,177 @@
+"""End-to-end measurement pipeline (Section 3).
+
+Runs the full methodology over a synthetic world:
+
+1. compile the per-country government directory (Section 3.1);
+2. crawl landing pages seven levels deep through in-country VPN
+   vantages, producing HAR archives (Section 3.2);
+3. filter internal government URLs via TLD/domain/SAN heuristics
+   (Section 3.3);
+4. resolve hostnames and annotate with WHOIS data; classify network
+   ownership (Section 3.4);
+5. geolocate and validate every server address (Section 3.5);
+6. classify hosting categories and assemble the dataset (Sections 4-5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.asclassify import GovernmentASClassifier
+from repro.core.classification import CategoryClassifier
+from repro.core.crawler import DEFAULT_MAX_DEPTH, Crawler, CrawlResult
+from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
+from repro.core.gathering import compile_directory
+from repro.core.geolocation import Geolocator
+from repro.core.infrastructure import HostInfrastructure, InfrastructureMapper
+from repro.core.urlfilter import FilterOutcome, GovernmentUrlFilter
+from repro.datagen.generator import SyntheticWorld
+from repro.datagen.seeds import derive_rng
+from repro.measure.atlas import AtlasClient
+from repro.netsim.latency import LatencyModel
+from repro.websim.browser import Browser
+from repro.world.cities import all_location_codes
+
+
+@dataclasses.dataclass
+class _CountryScan:
+    """Intermediate per-country artifacts from the crawl+filter+map phase."""
+
+    country: str
+    crawl: CrawlResult
+    outcome: FilterOutcome
+    infrastructure: dict[str, HostInfrastructure]
+    landing_count: int
+
+
+class Pipeline:
+    """Drives the full methodology over one synthetic world."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        geolocator: Optional[Geolocator] = None,
+    ) -> None:
+        self.world = world
+        self.browser = Browser(world.web)
+        self.crawler = Crawler(self.browser, max_depth=max_depth)
+        self.mapper = InfrastructureMapper(world.resolver, world.whois)
+        self.ownership = GovernmentASClassifier(
+            world.peeringdb, world.whois, world.websearch
+        )
+        self.categories = CategoryClassifier(self.ownership)
+        self.atlas = self._make_atlas(world)
+        self.geolocator = geolocator or Geolocator(
+            ipinfo=world.ipinfo,
+            manycast=world.manycast,
+            atlas=self.atlas,
+            hoiho=world.hoiho,
+            ipmap=world.ipmap,
+        )
+
+    @staticmethod
+    def _make_atlas(world: SyntheticWorld) -> AtlasClient:
+        """Build the probe mesh against the world's serving fabric."""
+        latency = LatencyModel(derive_rng(world.config.seed, "pipeline", "latency"))
+        return AtlasClient(
+            fabric=world.fabric,
+            latency=latency,
+            country_codes=all_location_codes(),
+            rng=derive_rng(world.config.seed, "pipeline", "atlas"),
+        )
+
+    # ------------------------------------------------------------------ runs
+
+    def scan_country(self, code: str) -> _CountryScan:
+        """Crawl, filter and map one country (phases 1-4)."""
+        code = code.upper()
+        directory = compile_directory(self.world, code)
+        vantage = self.world.vpn.vantage_for(code)
+        crawl = self.crawler.crawl(list(directory.landing_urls), vantage)
+        url_filter = GovernmentUrlFilter(directory, self.world.certificates)
+        outcome = url_filter.run(crawl.archive)
+        infrastructure = self.mapper.map_hosts(
+            outcome.government_hostnames, vantage
+        )
+        return _CountryScan(
+            country=code,
+            crawl=crawl,
+            outcome=outcome,
+            infrastructure=infrastructure,
+            landing_count=directory.landing_count,
+        )
+
+    def run(self, countries: Optional[list[str]] = None) -> GovernmentHostingDataset:
+        """Run the full pipeline and assemble the dataset."""
+        codes = [c.upper() for c in countries] if countries else self.world.country_codes()
+
+        scans = [self.scan_country(code) for code in codes]
+
+        # The Global-provider definition needs the cross-country footprint
+        # of every AS before categories can be assigned.
+        for scan in scans:
+            for info in scan.infrastructure.values():
+                self.categories.observe(info.asn, scan.country)
+
+        country_datasets: dict[str, CountryDataset] = {}
+        for scan in scans:
+            country_datasets[scan.country] = self._assemble_country(scan)
+        return GovernmentHostingDataset(
+            countries=country_datasets,
+            validation=self.geolocator.stats,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _assemble_country(self, scan: _CountryScan) -> CountryDataset:
+        records: list[UrlRecord] = []
+        unresolved = sorted(
+            scan.outcome.government_hostnames - set(scan.infrastructure)
+        )
+        verdict_by_host: dict[str, object] = {}
+        category_by_host: dict[str, object] = {}
+        gov_by_host: dict[str, bool] = {}
+        for hostname, info in scan.infrastructure.items():
+            verdict = self.geolocator.locate(info.address, scan.country)
+            verdict_by_host[hostname] = verdict
+            gov_by_host[hostname] = self.ownership.is_government(info.asn)
+            category_by_host[hostname] = self.categories.categorize(
+                info.asn, info.registered_country, scan.country
+            )
+
+        for url, via in scan.outcome.accepted.items():
+            entry = scan.crawl.archive.get(url)
+            info = scan.infrastructure.get(entry.hostname)
+            if info is None:
+                continue
+            verdict = verdict_by_host[entry.hostname]
+            records.append(UrlRecord(
+                url=url,
+                hostname=entry.hostname,
+                country=scan.country,
+                size_bytes=entry.size_bytes,
+                via=via,
+                depth=scan.crawl.depth_of.get(url, 0),
+                address=info.address,
+                asn=info.asn,
+                organization=info.organization,
+                registered_country=info.registered_country,
+                gov_operated=gov_by_host[entry.hostname],
+                category=category_by_host[entry.hostname],
+                server_country=verdict.country,
+                anycast=verdict.anycast,
+                validation=verdict.method,
+            ))
+        return CountryDataset(
+            country=scan.country,
+            landing_count=scan.landing_count,
+            records=records,
+            discarded_url_count=len(scan.outcome.discarded),
+            unresolved_hostnames=unresolved,
+            depth_histogram=scan.crawl.depth_histogram(),
+        )
+
+
+__all__ = ["Pipeline"]

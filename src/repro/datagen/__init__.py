@@ -1,0 +1,20 @@
+"""Deterministic synthetic-world generation.
+
+Builds a complete synthetic Internet -- ASes, prefixes, DNS, TLS,
+government sites, measurement databases -- calibrated by the
+per-country hosting profiles.  Everything derives from a single master
+seed, so worlds are fully reproducible.
+"""
+
+from repro.datagen.config import WorldConfig
+from repro.datagen.seeds import derive_seed, derive_rng
+from repro.datagen.generator import SyntheticWorld, GroundTruth, HostTruth
+
+__all__ = [
+    "WorldConfig",
+    "derive_seed",
+    "derive_rng",
+    "SyntheticWorld",
+    "GroundTruth",
+    "HostTruth",
+]

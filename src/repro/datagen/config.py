@@ -1,0 +1,134 @@
+"""Generator configuration.
+
+The defaults encode the error and coverage rates the paper reports for
+its measurement inputs (IPInfo accuracy, ICMP responsiveness, PTR and
+IPmap coverage, PeeringDB coverage).  ``scale`` shrinks the dataset for
+quick runs; ``scale=1.0`` approximates the paper's full dataset size
+(15,878 landing URLs, ~1M internal URLs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class WorldConfig:
+    """All knobs of the synthetic world."""
+
+    #: Master seed for every random stream.
+    seed: int = 42
+    #: Fraction of the paper's dataset sizes to generate.
+    scale: float = 0.02
+    #: Restrict generation to these country codes (None = all 61).
+    countries: Optional[Sequence[str]] = None
+    #: Generate topsites for the 14 comparison countries (Appendix D).
+    include_topsites: bool = True
+    #: Topsites per comparison country.
+    topsites_per_country: int = 40
+    #: Longitudinal drift toward third-party hosting: the share of the
+    #: Govt&SOE mix migrated to 3P Global (the Kumar et al. follow-up
+    #: finds dependencies increasing year over year).  0 = the paper's
+    #: snapshot; ~0.05 approximates one further year.
+    third_party_drift: float = 0.0
+
+    # --- web structure -----------------------------------------------------
+    #: Share of unique URLs found at each crawl depth (0 = landing page).
+    #: Calibrated to "84% directly on landing pages, 95% within one level".
+    depth_distribution: tuple[float, ...] = (
+        0.84, 0.11, 0.025, 0.012, 0.006, 0.004, 0.002, 0.001,
+    )
+    #: Extra non-government (contractor/analytics) URLs added per government
+    #: URL; the URL filter must discard these.
+    external_url_ratio: float = 0.12
+    #: Fraction of sites that expose an additional static asset hostname.
+    static_subdomain_frac: float = 0.30
+    #: Fraction of sites reachable only through SAN verification
+    #: (no government TLD, not in the directory).
+    san_site_frac: float = 0.004
+    #: Fraction of sites refusing foreign clients.
+    geo_restricted_frac: float = 0.02
+    #: Mean object size in bytes before category skew.
+    mean_resource_bytes: float = 60_000.0
+
+    # --- address plan ------------------------------------------------------
+    #: Probability a new hostname reuses an existing address of its AS pool.
+    ip_reuse_prob: float = 0.70
+    #: Probability a domestic global deployment uses a geo-DNS record
+    #: instead of a pinned unicast address (when not anycast).
+    geo_dns_prob: float = 0.35
+
+    # --- measurement-substrate fidelity ------------------------------------
+    #: Probability IPInfo places a unicast address in the wrong country.
+    ipinfo_wrong_country_rate: float = 0.022
+    #: Probability IPInfo places it in the wrong city of the right country.
+    ipinfo_wrong_city_rate: float = 0.09
+    #: Probability a true anycast address is flagged by MAnycast2.
+    manycast_recall: float = 0.97
+    #: Probability a unicast address is wrongly flagged as anycast.
+    manycast_false_positive_rate: float = 0.002
+    #: Probability a (non-prominent) unicast address answers ICMP; the top
+    #: quartile of addresses by URL mass always responds (see
+    #: ``_mark_prominent_addresses``), so the effective rate is higher.
+    unicast_icmp_rate: float = 0.02
+    #: Probability an anycast address answers ICMP.
+    anycast_icmp_rate: float = 0.95
+    #: PTR dialect mix (city, ntt, opaque); the remainder has no PTR at all.
+    ptr_city_rate: float = 0.60
+    ptr_ntt_rate: float = 0.25
+    ptr_opaque_rate: float = 0.08
+    #: Probability RIPE IPmap has a cached location for an address.
+    ipmap_coverage: float = 0.70
+    #: Probability an anycast deployment for a country lacks a domestic
+    #: site (its catchment lands abroad and the address gets excluded).
+    anycast_offshore_rate: float = 0.15
+    #: PeeringDB record coverage by operator kind.
+    peeringdb_gov_coverage: float = 0.45
+    peeringdb_soe_coverage: float = 0.35
+    peeringdb_local_coverage: float = 0.60
+    peeringdb_regional_coverage: float = 0.80
+    #: Among government PeeringDB records, share whose name/org fields are
+    #: opaque so only the website reveals ownership.
+    peeringdb_opaque_gov_rate: float = 0.25
+    #: Probability a government/SOE AS has a findable website description
+    #: (the "Google search" fallback of Section 3.4).
+    websearch_coverage: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if abs(sum(self.depth_distribution) - 1.0) > 1e-6:
+            raise ValueError("depth_distribution must sum to 1")
+        for name in (
+            "external_url_ratio", "static_subdomain_frac", "san_site_frac",
+            "geo_restricted_frac", "ip_reuse_prob", "geo_dns_prob",
+            "ipinfo_wrong_country_rate", "ipinfo_wrong_city_rate",
+            "manycast_recall", "manycast_false_positive_rate",
+            "unicast_icmp_rate", "anycast_icmp_rate", "ptr_city_rate",
+            "ptr_ntt_rate", "ptr_opaque_rate", "ipmap_coverage",
+            "anycast_offshore_rate", "peeringdb_gov_coverage",
+            "peeringdb_soe_coverage", "peeringdb_local_coverage",
+            "peeringdb_regional_coverage", "peeringdb_opaque_gov_rate",
+            "websearch_coverage", "third_party_drift",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.ptr_city_rate + self.ptr_ntt_rate + self.ptr_opaque_rate > 1.0:
+            raise ValueError("PTR dialect rates must sum to at most 1")
+
+    def country_codes(self) -> list[str]:
+        """The country codes to generate (validated against the sample)."""
+        from repro.world.countries import COUNTRIES
+
+        if self.countries is None:
+            return list(COUNTRIES)
+        codes = [code.upper() for code in self.countries]
+        unknown = [code for code in codes if code not in COUNTRIES]
+        if unknown:
+            raise ValueError(f"unknown country codes: {unknown}")
+        return codes
+
+
+__all__ = ["WorldConfig"]

@@ -1,0 +1,114 @@
+"""Name pools for synthetic government organizations and providers.
+
+Hostname and organization names only need to be plausible, unique and
+deterministic; the pools below combine base institution names with
+sector/branch qualifiers to scale to the thousands of hostnames the
+largest countries require.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.websim.sites import SiteKind
+
+MINISTRY_SECTORS = (
+    "health", "finance", "interior", "education", "defense", "justice",
+    "agriculture", "energy", "transport", "environment", "labor", "culture",
+    "tourism", "science", "trade", "housing", "communications", "planning",
+    "sports", "foreign-affairs", "economy", "industry", "mining", "fisheries",
+    "youth", "women", "social-development", "public-works", "technology",
+    "infrastructure",
+)
+
+AGENCY_NAMES = (
+    "tax", "customs", "statistics", "meteorology", "space", "police",
+    "elections", "archives", "library", "census", "water", "roads",
+    "aviation", "maritime", "railways", "pensions", "immigration",
+    "procurement", "standards", "patents", "competition", "securities",
+    "centralbank", "audit", "anticorruption", "cybersecurity", "parks",
+    "heritage", "food-safety", "medicines", "nuclear", "geology",
+    "forestry", "irrigation", "ports", "telecom-regulator", "broadcasting",
+    "social-security", "veterans", "disaster-management",
+)
+
+SOE_NAMES = (
+    "national-telecom", "national-oil", "national-rail", "national-power",
+    "national-airline", "national-bank", "postal-service", "water-utility",
+    "national-gas", "mining-corp", "national-broadcaster", "ports-authority",
+    "national-lottery", "energy-holding", "national-shipping",
+)
+
+LOCAL_PROVIDER_STEMS = (
+    "rapidhost", "webnode", "datacenter", "cloudpoint", "serverfarm",
+    "netbox", "hostline", "primeweb", "bitlodge", "stackhouse",
+    "coreracks", "zenhost",
+)
+
+REGIONAL_PROVIDER_STEMS = (
+    "continental-cloud", "interlink-hosting", "transnet-dc", "meridian-cloud",
+    "axis-hosting", "unity-dc",
+)
+
+TOPSITE_STEMS = (
+    "news", "shop", "bank", "mail", "video", "social", "weather", "sports",
+    "travel", "food", "auto", "jobs", "realty", "music", "games", "health",
+    "forum", "market", "stream", "learn",
+)
+
+
+def iter_site_names(kind: SiteKind, rng: random.Random) -> Iterator[str]:
+    """Infinite stream of unique site names for one country and kind."""
+    if kind is SiteKind.MINISTRY:
+        base = list(MINISTRY_SECTORS)
+    elif kind is SiteKind.AGENCY:
+        base = list(AGENCY_NAMES)
+    else:
+        base = list(SOE_NAMES)
+    rng.shuffle(base)
+    yield from base
+    index = 2
+    while True:
+        for name in base:
+            yield f"{name}{index}"
+        index += 1
+
+
+def government_org_name(sector: str, country_name: str, rng: random.Random) -> str:
+    """A WHOIS-style organization name for a government network."""
+    templates = (
+        "Ministry of {sector} of {country}",
+        "Ministerio de {sector} - {country}",
+        "Ministere de {sector} ({country})",
+        "{country} Federal {sector} Administration",
+        "National {sector} Directorate of {country}",
+    )
+    template = rng.choice(templates)
+    return template.format(sector=sector.replace("-", " ").title(), country=country_name)
+
+
+def soe_org_name(stem: str, country_name: str, rng: random.Random) -> str:
+    """A WHOIS-style organization name for a state-owned enterprise.
+
+    A share of these intentionally omits any government keyword (the
+    YPF case of Section 3.4): ownership is only discoverable through a
+    web search.
+    """
+    plain = stem.replace("-", " ").title()
+    if rng.random() < 0.5:
+        return f"{plain} of {country_name}"
+    return f"{plain} S.A."
+
+
+__all__ = [
+    "MINISTRY_SECTORS",
+    "AGENCY_NAMES",
+    "SOE_NAMES",
+    "LOCAL_PROVIDER_STEMS",
+    "REGIONAL_PROVIDER_STEMS",
+    "TOPSITE_STEMS",
+    "iter_site_names",
+    "government_org_name",
+    "soe_org_name",
+]

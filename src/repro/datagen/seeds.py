@@ -1,0 +1,31 @@
+"""Stable seed derivation.
+
+Every random decision in the generator and the measurement substrate
+draws from a :class:`random.Random` seeded via a BLAKE2 hash of the
+master seed and a component path (e.g. ``("country", "BR", "sites")``).
+Adding a new component never perturbs the streams of existing ones,
+which keeps calibration stable as the generator evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(master_seed: int, *components: object) -> int:
+    """A 64-bit seed derived from the master seed and a component path."""
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(master_seed).encode("utf-8"))
+    for component in components:
+        hasher.update(b"\x1f")
+        hasher.update(str(component).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def derive_rng(master_seed: int, *components: object) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`derive_seed`."""
+    return random.Random(derive_seed(master_seed, *components))
+
+
+__all__ = ["derive_seed", "derive_rng"]

@@ -1,0 +1,69 @@
+"""HTTP Archive (HAR) records.
+
+The study consolidates each page load into a HAR file (Section 3.2).
+We keep only the fields the analysis consumes: the resource URL, its
+hostname, and the transferred size in bytes (Figure 2 and friends
+aggregate bytes as well as URL counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+
+@dataclasses.dataclass(frozen=True)
+class HarEntry:
+    """One fetched object within a page load."""
+
+    url: str
+    hostname: str
+    size_bytes: int
+    content_type: str = "application/octet-stream"
+
+
+@dataclasses.dataclass
+class HarArchive:
+    """All HAR entries collected while crawling one country.
+
+    Entries are de-duplicated by URL, as the paper counts *unique* URLs;
+    the first observation of a URL wins.
+    """
+
+    country: str
+    _entries: dict[str, HarEntry] = dataclasses.field(default_factory=dict)
+
+    def add(self, entry: HarEntry) -> bool:
+        """Record an entry; returns False if the URL was already present."""
+        if entry.url in self._entries:
+            return False
+        self._entries[entry.url] = entry
+        return True
+
+    def extend(self, entries: Iterable[HarEntry]) -> int:
+        """Add many entries; returns how many were new."""
+        return sum(1 for entry in entries if self.add(entry))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HarEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def get(self, url: str) -> HarEntry:
+        """The entry recorded for ``url``."""
+        return self._entries[url]
+
+    def hostnames(self) -> set[str]:
+        """Unique hostnames across all entries."""
+        return {entry.hostname for entry in self._entries.values()}
+
+    def total_bytes(self) -> int:
+        """Sum of transferred sizes over all unique URLs."""
+        return sum(entry.size_bytes for entry in self._entries.values())
+
+
+__all__ = ["HarEntry", "HarArchive"]

@@ -1,0 +1,177 @@
+"""Dataset serialization.
+
+The paper makes its dataset "available upon request"; this module is
+that request path: it exports a measured
+:class:`~repro.core.dataset.GovernmentHostingDataset` to JSON-lines
+(one record per unique URL) plus a JSON header, and loads it back
+losslessly, so analyses can run without regenerating the world.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Iterable, Union
+
+from repro.categories import HostingCategory
+from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
+from repro.core.geolocation import ValidationMethod, ValidationStats
+from repro.core.urlfilter import FilterVia
+
+#: Format marker written into every export header.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def record_to_dict(record: UrlRecord) -> dict:
+    """One record as a JSON-serializable dict."""
+    return {
+        "url": record.url,
+        "hostname": record.hostname,
+        "country": record.country,
+        "size_bytes": record.size_bytes,
+        "via": record.via.value,
+        "depth": record.depth,
+        "address": record.address,
+        "asn": record.asn,
+        "organization": record.organization,
+        "registered_country": record.registered_country,
+        "gov_operated": record.gov_operated,
+        "category": record.category.value,
+        "server_country": record.server_country,
+        "anycast": record.anycast,
+        "validation": record.validation.value,
+    }
+
+
+def record_from_dict(data: dict) -> UrlRecord:
+    """Inverse of :func:`record_to_dict`."""
+    return UrlRecord(
+        url=data["url"],
+        hostname=data["hostname"],
+        country=data["country"],
+        size_bytes=data["size_bytes"],
+        via=FilterVia(data["via"]),
+        depth=data["depth"],
+        address=data["address"],
+        asn=data["asn"],
+        organization=data["organization"],
+        registered_country=data["registered_country"],
+        gov_operated=data["gov_operated"],
+        category=HostingCategory(data["category"]),
+        server_country=data["server_country"],
+        anycast=data["anycast"],
+        validation=ValidationMethod(data["validation"]),
+    )
+
+
+def save_dataset(dataset: GovernmentHostingDataset, path: PathLike) -> int:
+    """Write the dataset as JSON lines; returns the number of records.
+
+    Line 1 is a header object (format version, per-country metadata and
+    validation statistics); every following line is one URL record.
+    """
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": FORMAT_VERSION,
+            "validation": dataclasses.asdict(dataset.validation),
+            "countries": {
+                code: {
+                    "landing_count": cd.landing_count,
+                    "discarded_url_count": cd.discarded_url_count,
+                    "unresolved_hostnames": cd.unresolved_hostnames,
+                    "depth_histogram": cd.depth_histogram,
+                }
+                for code, cd in sorted(dataset.countries.items())
+            },
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in dataset.iter_records():
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_dataset(path: PathLike) -> GovernmentHostingDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty dataset file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format {header.get('format')!r}"
+            )
+        records_by_country: dict[str, list[UrlRecord]] = {
+            code: [] for code in header["countries"]
+        }
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = record_from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: corrupt record ({exc})"
+                ) from exc
+            records_by_country.setdefault(record.country, []).append(record)
+
+    countries: dict[str, CountryDataset] = {}
+    for code, meta in header["countries"].items():
+        countries[code] = CountryDataset(
+            country=code,
+            landing_count=meta["landing_count"],
+            records=records_by_country.get(code, []),
+            discarded_url_count=meta["discarded_url_count"],
+            unresolved_hostnames=list(meta["unresolved_hostnames"]),
+            depth_histogram={
+                int(depth): count
+                for depth, count in meta["depth_histogram"].items()
+            },
+        )
+    validation = ValidationStats(**header["validation"])
+    return GovernmentHostingDataset(countries=countries, validation=validation)
+
+
+def export_csv(dataset: GovernmentHostingDataset, path: PathLike) -> int:
+    """Write a flat CSV of all records (for spreadsheet-style analysis)."""
+    import csv
+
+    path = pathlib.Path(path)
+    fieldnames = list(record_to_dict(next(dataset.iter_records(), None) or _DUMMY))
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in dataset.iter_records():
+            writer.writerow(record_to_dict(record))
+            count += 1
+    return count
+
+
+def _iter_or_empty(records: Iterable[UrlRecord]):  # pragma: no cover - helper
+    return iter(records)
+
+
+_DUMMY = UrlRecord(
+    url="", hostname="", country="", size_bytes=0, via=FilterVia.TLD, depth=0,
+    address=0, asn=0, organization="", registered_country="",
+    gov_operated=False, category=HostingCategory.GOVT_SOE,
+    server_country=None, anycast=False, validation=ValidationMethod.UNRESOLVED,
+)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "record_to_dict",
+    "record_from_dict",
+    "save_dataset",
+    "load_dataset",
+    "export_csv",
+]

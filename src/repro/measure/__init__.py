@@ -1,0 +1,32 @@
+"""Measurement-tool substrate.
+
+Simulated equivalents of the external measurement services the paper
+relies on: commercial VPN vantage points, RIPE-Atlas-style probes, the
+IPInfo geolocation database, the MAnycast2 anycast census, CAIDA's
+HOIHO PTR-hostname geohints, RIPE IPmap's cached geolocations and
+PeeringDB records.
+"""
+
+from repro.measure.vpn import VpnCatalog, VantagePoint
+from repro.measure.atlas import AtlasProbe, AtlasClient, PingResult
+from repro.measure.ipinfo import IpInfoDatabase, IpInfoEntry
+from repro.measure.manycast import MAnycastSnapshot
+from repro.measure.hoiho import PtrTable, HoihoExtractor
+from repro.measure.ipmap import IpMapCache
+from repro.measure.peeringdb import PeeringDb, PeeringDbRecord
+
+__all__ = [
+    "VpnCatalog",
+    "VantagePoint",
+    "AtlasProbe",
+    "AtlasClient",
+    "PingResult",
+    "IpInfoDatabase",
+    "IpInfoEntry",
+    "MAnycastSnapshot",
+    "PtrTable",
+    "HoihoExtractor",
+    "IpMapCache",
+    "PeeringDb",
+    "PeeringDbRecord",
+]

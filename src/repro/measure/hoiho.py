@@ -1,0 +1,117 @@
+"""HOIHO-style geolocation hints from router/server PTR hostnames.
+
+CAIDA's HOIHO learns regular expressions that extract geographic hints
+(city tokens, IATA-like codes, ISO country labels) from DNS PTR
+records (Section 3.5, step 4).  The simulated PTR table is written by
+the generator in three "operator dialects":
+
+* ``city`` dialect -- embeds a normalized city token and a country
+  label, e.g. ``ae1.cr2.frankfurt3.de.bb.provider.net``;
+* ``ntt`` dialect -- an NTT-like convention the paper says it added an
+  extra regex for, e.g. ``ge-0-1-2.a15.tokyjp01.provider-gin.net``
+  (city prefix + ISO country squeezed into one token);
+* ``opaque`` dialect -- no geographic information (extraction misses).
+
+The extractor mirrors HOIHO: a handful of regexes plus a dictionary of
+known city tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.world.cities import CITIES, EXTRA_TERRITORIES
+
+
+def normalize_city(name: str) -> str:
+    """Normalize a city name into a hostname-safe token."""
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+def _build_city_tokens() -> dict[str, str]:
+    tokens: dict[str, str] = {}
+    for code, cities in CITIES.items():
+        for city in cities:
+            tokens.setdefault(normalize_city(city.name), code)
+    for code, (_name, _region, _continent, city) in EXTRA_TERRITORIES.items():
+        tokens.setdefault(normalize_city(city.name), code)
+    return tokens
+
+
+#: Map of normalized city tokens to country codes (the "learned dictionary").
+CITY_TOKENS: dict[str, str] = _build_city_tokens()
+
+#: Country labels that may legitimately appear as hostname components.
+_COUNTRY_LABELS = set(code.lower() for code in CITY_TOKENS.values())
+
+_CITY_LABEL_RE = re.compile(r"^([a-z]+?)(\d*)$")
+_NTT_TOKEN_RE = re.compile(r"^([a-z]{4})([a-z]{2})(\d{2})$")
+
+
+class PtrTable:
+    """PTR records of the synthetic Internet (ip -> reverse name)."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, str] = {}
+
+    def add(self, address: int, name: str) -> None:
+        """Publish the PTR record for ``address``."""
+        self._records[address] = name.lower()
+
+    def lookup(self, address: int) -> Optional[str]:
+        """Reverse name of ``address`` (None when unset)."""
+        return self._records.get(address)
+
+    def items(self):
+        """Iterate over (address, reverse name) pairs."""
+        return self._records.items()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class HoihoExtractor:
+    """Extracts a country hint from a PTR name, if any."""
+
+    def __init__(self, ptr_table: PtrTable) -> None:
+        self._ptr = ptr_table
+
+    def country_hint(self, address: int) -> Optional[str]:
+        """Country suggested by the PTR record of ``address`` (or None)."""
+        name = self._ptr.lookup(address)
+        if name is None:
+            return None
+        return self.extract(name)
+
+    def extract(self, ptr_name: str) -> Optional[str]:
+        """Apply the regex/dictionary cascade to one PTR name."""
+        labels = ptr_name.lower().split(".")
+        # NTT-like dialect: a single token packs city prefix + ISO country.
+        for label in labels:
+            match = _NTT_TOKEN_RE.match(label)
+            if match and match.group(2) in _COUNTRY_LABELS:
+                return match.group(2).upper()
+        # City-token dialect: a label is a known city token (+ site index),
+        # usually corroborated by an adjacent bare country label.
+        for label in labels:
+            match = _CITY_LABEL_RE.match(label)
+            if not match:
+                continue
+            token = match.group(1)
+            country = CITY_TOKENS.get(token)
+            if country is not None:
+                return country
+        # Bare country label as its own component (e.g. ".de.").
+        for label in labels[1:-1]:  # never the host part or the TLD
+            if len(label) == 2 and label in _COUNTRY_LABELS:
+                return label.upper()
+        return None
+
+
+__all__ = [
+    "normalize_city",
+    "CITY_TOKENS",
+    "PtrTable",
+    "HoihoExtractor",
+]

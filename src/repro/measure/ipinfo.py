@@ -1,0 +1,55 @@
+"""IPInfo-style geolocation database.
+
+Step 1 of the paper's server-geolocation process queries IPInfo for
+every collected address (Section 3.5).  Darwich et al. report that 89%
+of IPInfo targets are accurate within ~40 km, so the simulated database
+is built from ground truth with configurable error injection: a small
+fraction of entries carries the wrong city (same country) and a smaller
+fraction the wrong country entirely -- the case the verification stages
+exist to catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class IpInfoEntry:
+    """One database row: claimed location of an address."""
+
+    address: int
+    country: str
+    city: str
+    lat: float
+    lon: float
+
+
+class IpInfoDatabase:
+    """Queryable snapshot of the geolocation database."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, IpInfoEntry] = {}
+
+    def add(self, entry: IpInfoEntry) -> None:
+        """Insert or overwrite the row for ``entry.address``."""
+        self._entries[entry.address] = entry
+
+    def lookup(self, address: int) -> Optional[IpInfoEntry]:
+        """The claimed location of ``address`` (None if unknown)."""
+        return self._entries.get(address)
+
+    def country_of(self, address: int) -> Optional[str]:
+        """Claimed country of ``address`` (None if unknown)."""
+        entry = self._entries.get(address)
+        return entry.country if entry else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[IpInfoEntry]:
+        return iter(self._entries.values())
+
+
+__all__ = ["IpInfoEntry", "IpInfoDatabase"]

@@ -1,0 +1,34 @@
+"""RIPE IPmap cached geolocations.
+
+Step 4 of the paper's geolocation process consults the cached results
+of RIPE's IPmap when PTR hints are unavailable.  The cache covers only
+a subset of addresses -- infrastructure that RIPE Atlas anchors have
+previously triangulated -- so a miss is a normal outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class IpMapCache:
+    """A read-only cache of previously triangulated addresses."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, str] = {}
+
+    def store(self, address: int, country: str) -> None:
+        """Populate the cache (done by the generator)."""
+        self._cache[address] = country
+
+    def lookup(self, address: int) -> Optional[str]:
+        """Cached country for ``address`` (None on cache miss)."""
+        return self._cache.get(address)
+
+    @property
+    def coverage(self) -> int:
+        """Number of cached addresses."""
+        return len(self._cache)
+
+
+__all__ = ["IpMapCache"]

@@ -1,0 +1,37 @@
+"""MAnycast2-style anycast census snapshot.
+
+Step 2 of the geolocation process consults a data snapshot from
+MAnycast2 (Sommese et al.) to decide whether an address is anycast.
+The snapshot is a set of flagged addresses; like the real system it can
+miss some anycast deployments (false negatives) and occasionally flag a
+unicast address (false positives), so consumers must treat it as a
+measurement, not truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class MAnycastSnapshot:
+    """A point-in-time census of detected anycast addresses."""
+
+    def __init__(self, detected: Iterable[int] = ()) -> None:
+        self._detected = set(detected)
+
+    def flag(self, address: int) -> None:
+        """Record ``address`` as detected-anycast."""
+        self._detected.add(address)
+
+    def is_anycast(self, address: int) -> bool:
+        """Whether the snapshot flags ``address`` as anycast."""
+        return address in self._detected
+
+    def __len__(self) -> int:
+        return len(self._detected)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._detected)
+
+
+__all__ = ["MAnycastSnapshot"]

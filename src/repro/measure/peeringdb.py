@@ -1,0 +1,58 @@
+"""PeeringDB records for network classification.
+
+Section 3.4 of the paper classifies ASes as government-operated by
+inspecting PeeringDB entries: the network name, the associated
+organization, free-text notes (e.g. AS26810 noting "U.S. Dept. of
+Health and Human Services") and the listed website.  PeeringDB's
+coverage is partial -- many government networks have no record at all,
+which is why the paper falls back to WHOIS and web searches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class PeeringDbRecord:
+    """The subset of a PeeringDB ``net`` object the classifier reads."""
+
+    asn: int
+    name: str
+    org: str
+    website: Optional[str] = None
+    notes: str = ""
+
+    def text_fields(self) -> tuple[str, ...]:
+        """All free-text fields, for keyword scanning."""
+        fields = [self.name, self.org, self.notes]
+        if self.website:
+            fields.append(self.website)
+        return tuple(fields)
+
+
+class PeeringDb:
+    """Queryable snapshot of PeeringDB ``net`` records."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, PeeringDbRecord] = {}
+
+    def add(self, record: PeeringDbRecord) -> None:
+        """Insert a record (one per ASN)."""
+        if record.asn in self._records:
+            raise ValueError(f"duplicate PeeringDB record for AS{record.asn}")
+        self._records[record.asn] = record
+
+    def lookup(self, asn: int) -> Optional[PeeringDbRecord]:
+        """Record for ``asn`` (None when the network never registered)."""
+        return self._records.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PeeringDbRecord]:
+        return iter(self._records.values())
+
+
+__all__ = ["PeeringDbRecord", "PeeringDb"]

@@ -1,0 +1,38 @@
+"""Synthetic Internet substrate.
+
+Implements the pieces of the Internet the paper's methodology touches:
+autonomous systems and their PoPs, IP prefix allocation and WHOIS
+registration data, DNS resolution (including CNAME chains and
+geo-aware/anycast record selection), TLS certificates with Subject
+Alternative Names, and a great-circle latency model.
+"""
+
+from repro.netsim.ipaddr import format_ip, parse_ip, Prefix
+from repro.netsim.asn import ASKind, AutonomousSystem, PoP
+from repro.netsim.registry import IpRegistry, RegistryEntry
+from repro.netsim.whois import WhoisService, WhoisRecord
+from repro.netsim.latency import LatencyModel
+from repro.netsim.anycast import AnycastGroup, AnycastIndex
+from repro.netsim.dns import DnsZone, Resolver, Resolution
+from repro.netsim.tls import Certificate, CertificateStore
+
+__all__ = [
+    "format_ip",
+    "parse_ip",
+    "Prefix",
+    "ASKind",
+    "AutonomousSystem",
+    "PoP",
+    "IpRegistry",
+    "RegistryEntry",
+    "WhoisService",
+    "WhoisRecord",
+    "LatencyModel",
+    "AnycastGroup",
+    "AnycastIndex",
+    "DnsZone",
+    "Resolver",
+    "Resolution",
+    "Certificate",
+    "CertificateStore",
+]

@@ -1,0 +1,70 @@
+"""IP anycast: one address, many serving sites.
+
+Anycast complicates latency-based geolocation (Section 3.5, step 2):
+the same address is announced from many PoPs and BGP routes a client to
+a nearby one.  We model the catchment as nearest-PoP by great-circle
+distance, which is the dominant effect the paper's methodology has to
+cope with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.netsim.asn import PoP
+from repro.world.geography import haversine_km
+
+
+@dataclasses.dataclass(frozen=True)
+class AnycastGroup:
+    """An anycast address announced from several PoPs."""
+
+    address: int
+    asn: int
+    pops: tuple[PoP, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pops:
+            raise ValueError("anycast group needs at least one PoP")
+
+    def catchment(self, lat: float, lon: float) -> PoP:
+        """The PoP a client at (lat, lon) is routed to (nearest site)."""
+        return min(
+            self.pops,
+            key=lambda pop: haversine_km(lat, lon, pop.lat, pop.lon),
+        )
+
+    def serves_country(self, country: str) -> bool:
+        """Whether any anycast site sits inside ``country``."""
+        return any(pop.country == country for pop in self.pops)
+
+
+class AnycastIndex:
+    """Registry of all anycast groups in the synthetic Internet."""
+
+    def __init__(self) -> None:
+        self._groups: dict[int, AnycastGroup] = {}
+
+    def add(self, group: AnycastGroup) -> None:
+        """Register a group (addresses must be unique)."""
+        if group.address in self._groups:
+            raise ValueError(f"duplicate anycast address {group.address}")
+        self._groups[group.address] = group
+
+    def get(self, address: int) -> Optional[AnycastGroup]:
+        """The group announced at ``address``, or ``None`` for unicast."""
+        return self._groups.get(address)
+
+    def is_anycast(self, address: int) -> bool:
+        """Ground truth: is ``address`` anycast?"""
+        return address in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[AnycastGroup]:
+        return iter(self._groups.values())
+
+
+__all__ = ["AnycastGroup", "AnycastIndex"]

@@ -1,0 +1,84 @@
+"""Autonomous System model for the synthetic Internet.
+
+Each AS has a registration country (WHOIS), an organization, a *kind*
+(government network, state-owned enterprise, commercial hosting at
+local/regional/global footprint, or access ISP), and a set of points of
+presence (PoPs) where its servers physically sit.  The measurement
+pipeline must *recover* government ownership from PeeringDB/WHOIS-style
+breadcrumbs; the ``kind`` field is ground truth used only by the
+generator and by truth-checking tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+
+class ASKind(enum.Enum):
+    """Ground-truth operator type of an autonomous system."""
+
+    GOVERNMENT = "government"
+    SOE = "state-owned enterprise"
+    LOCAL_HOSTING = "local hosting"
+    REGIONAL_HOSTING = "regional hosting"
+    GLOBAL_PROVIDER = "global provider"
+    ISP = "access ISP"
+
+    @property
+    def is_government_operated(self) -> bool:
+        """Whether the paper's Govt&SOE label applies to the operator."""
+        return self in (ASKind.GOVERNMENT, ASKind.SOE)
+
+
+@dataclasses.dataclass(frozen=True)
+class PoP:
+    """A point of presence: a serving location of an AS."""
+
+    country: str
+    city: str
+    lat: float
+    lon: float
+
+
+@dataclasses.dataclass(frozen=True)
+class AutonomousSystem:
+    """A synthetic autonomous system."""
+
+    asn: int
+    name: str
+    organization: str
+    registration_country: str
+    kind: ASKind
+    pops: tuple[PoP, ...]
+    website: Optional[str] = None
+    #: Domain used for WHOIS contact addresses (e.g. ``"ministry.gov.br"``).
+    contact_domain: Optional[str] = None
+    #: Whether this AS announces anycast prefixes.
+    anycast_capable: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.asn < 2 ** 32:
+            raise ValueError(f"invalid ASN {self.asn}")
+        if not self.pops:
+            raise ValueError(f"AS{self.asn} must have at least one PoP")
+
+    @property
+    def pop_countries(self) -> frozenset[str]:
+        """Countries in which the AS has serving infrastructure."""
+        return frozenset(pop.country for pop in self.pops)
+
+    def pops_in(self, country: str) -> list[PoP]:
+        """PoPs located in a given country."""
+        return [pop for pop in self.pops if pop.country == country]
+
+    def has_pop_in(self, country: str) -> bool:
+        """Whether the AS can serve from within ``country``."""
+        return any(pop.country == country for pop in self.pops)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AS{self.asn} {self.name}"
+
+
+__all__ = ["ASKind", "PoP", "AutonomousSystem"]

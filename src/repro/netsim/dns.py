@@ -1,0 +1,177 @@
+"""DNS for the synthetic Internet.
+
+Supports the behaviours the paper's methodology must cope with:
+
+* plain A records (one static unicast address),
+* geo-aware A records as used by CDNs with DNS-based redirection (the
+  answer depends on where the query comes from -- the reason the
+  authors resolve hostnames from *within* the target country),
+* CNAME chains (followed with loop protection; the topsites
+  self-hosting heuristic of Appendix D inspects the first CNAME), and
+* anycast addresses, which are ordinary A records whose address is
+  announced from many sites (see :mod:`repro.netsim.anycast`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.netsim.asn import PoP
+from repro.world.geography import haversine_km
+
+MAX_CNAME_CHAIN = 8
+
+
+class DnsError(Exception):
+    """Base class for resolution failures."""
+
+
+class NxDomain(DnsError):
+    """The hostname does not exist."""
+
+
+class CnameLoopError(DnsError):
+    """CNAME chain exceeded :data:`MAX_CNAME_CHAIN` or looped."""
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticARecord:
+    """An A record with a fixed address (unicast or anycast)."""
+
+    address: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoARecord:
+    """A latency-steering A record: answers the address of the nearest PoP."""
+
+    endpoints: tuple[tuple[PoP, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ValueError("GeoARecord needs at least one endpoint")
+
+    def select(self, lat: float, lon: float) -> int:
+        """Address of the endpoint nearest to the client."""
+        _, address = min(
+            self.endpoints,
+            key=lambda item: haversine_km(lat, lon, item[0].lat, item[0].lon),
+        )
+        return address
+
+
+@dataclasses.dataclass(frozen=True)
+class CnameRecord:
+    """An alias to another hostname."""
+
+    target: str
+
+
+DnsRecord = Union[StaticARecord, GeoARecord, CnameRecord]
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolution:
+    """Result of resolving a hostname from a specific vantage."""
+
+    hostname: str
+    address: int
+    #: Hostnames traversed via CNAME (empty if resolved directly).
+    cname_chain: tuple[str, ...]
+
+    @property
+    def canonical_name(self) -> str:
+        """The final hostname the address belongs to."""
+        return self.cname_chain[-1] if self.cname_chain else self.hostname
+
+
+class DnsZone:
+    """The global record table of the synthetic Internet."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, DnsRecord] = {}
+
+    def add(self, hostname: str, record: DnsRecord) -> None:
+        """Publish a record; each hostname holds exactly one record."""
+        hostname = hostname.lower()
+        if hostname in self._records:
+            raise ValueError(f"duplicate DNS record for {hostname!r}")
+        self._records[hostname] = record
+
+    def get(self, hostname: str) -> Optional[DnsRecord]:
+        """The record for ``hostname`` (or None)."""
+        return self._records.get(hostname.lower())
+
+    def remove(self, hostname: str) -> bool:
+        """Withdraw a record (e.g. a lapsed delegation); True if present."""
+        return self._records.pop(hostname.lower(), None) is not None
+
+    def __contains__(self, hostname: str) -> bool:
+        return hostname.lower() in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Resolver:
+    """A stub resolver bound to nothing; the vantage is passed per query.
+
+    The same resolver instance serves every vantage point -- location
+    enters only through the query coordinates, mirroring how the paper
+    resolves hostnames through VPN exits in the target country.
+    """
+
+    def __init__(self, zone: DnsZone) -> None:
+        self._zone = zone
+
+    def resolve(self, hostname: str, lat: float, lon: float) -> Resolution:
+        """Resolve ``hostname`` as seen from coordinates (lat, lon)."""
+        chain: list[str] = []
+        current = hostname.lower()
+        for _ in range(MAX_CNAME_CHAIN + 1):
+            record = self._zone.get(current)
+            if record is None:
+                raise NxDomain(current)
+            if isinstance(record, CnameRecord):
+                target = record.target.lower()
+                if target in chain or target == hostname.lower():
+                    raise CnameLoopError(hostname)
+                chain.append(target)
+                current = target
+                continue
+            if isinstance(record, StaticARecord):
+                address = record.address
+            else:
+                address = record.select(lat, lon)
+            return Resolution(
+                hostname=hostname.lower(),
+                address=address,
+                cname_chain=tuple(chain),
+            )
+        raise CnameLoopError(hostname)
+
+    def first_cname(self, hostname: str) -> Optional[str]:
+        """The CNAME target of ``hostname`` if it is an alias, else None.
+
+        Used by the self-hosting heuristic of Appendix D.
+        """
+        record = self._zone.get(hostname)
+        if isinstance(record, CnameRecord):
+            return record.target.lower()
+        return None
+
+
+__all__ = [
+    "MAX_CNAME_CHAIN",
+    "DnsError",
+    "NxDomain",
+    "CnameLoopError",
+    "StaticARecord",
+    "GeoARecord",
+    "CnameRecord",
+    "DnsRecord",
+    "Resolution",
+    "DnsZone",
+    "Resolver",
+]

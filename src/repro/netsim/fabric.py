@@ -1,0 +1,64 @@
+"""Ground-truth serving fabric: where is an address physically answered?
+
+Combines the registry (unicast addresses pinned to the PoP they were
+allocated at) and the anycast index (per-client catchments) into one
+lookup used by the active-measurement substrate.  Also tracks ICMP
+responsiveness: like on the real Internet, a sizeable share of servers
+never answers pings, which is why the paper needs its multistage
+geolocation fallback.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.anycast import AnycastIndex
+from repro.netsim.asn import PoP
+from repro.netsim.registry import IpRegistry
+
+
+class ServingFabric:
+    """Resolves addresses to the physical site answering a given client."""
+
+    def __init__(self, registry: IpRegistry, anycast_index: AnycastIndex) -> None:
+        self._registry = registry
+        self._anycast = anycast_index
+        self._unresponsive: set[int] = set()
+
+    @property
+    def registry(self) -> IpRegistry:
+        return self._registry
+
+    @property
+    def anycast_index(self) -> AnycastIndex:
+        return self._anycast
+
+    def mark_unresponsive(self, address: int) -> None:
+        """Declare that ``address`` drops ICMP echo requests."""
+        self._unresponsive.add(address)
+
+    def responds_to_ping(self, address: int) -> bool:
+        """Whether ``address`` answers ICMP at all."""
+        return address not in self._unresponsive
+
+    def server_site(self, address: int, from_lat: float, from_lon: float) -> PoP:
+        """The PoP that answers ``address`` for a client at (lat, lon).
+
+        For unicast addresses the answer is client-independent; for
+        anycast addresses it is the catchment of the client location.
+        """
+        group = self._anycast.get(address)
+        if group is not None:
+            return group.catchment(from_lat, from_lon)
+        return self._registry.pop_of(address)
+
+    def unicast_location(self, address: int) -> PoP:
+        """Ground-truth location of a unicast address.
+
+        Raises :class:`ValueError` if the address is anycast (it has no
+        single location).
+        """
+        if self._anycast.is_anycast(address):
+            raise ValueError("anycast addresses have no single location")
+        return self._registry.pop_of(address)
+
+
+__all__ = ["ServingFabric"]

@@ -1,0 +1,99 @@
+"""IPv4 address handling for the synthetic address space.
+
+Addresses are represented as plain ``int`` values internally (fast and
+hashable); helpers convert to and from dotted-quad strings.  The
+synthetic Internet allocates /24 prefixes sequentially from a private
+numbering plan, so addresses never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def format_ip(value: int) -> str:
+    """Render an integer address as a dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"address out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad string into an integer address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (``base`` is the network address as an int)."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"invalid prefix length {self.length}")
+        mask = self.netmask
+        if self.base & ~mask & 0xFFFFFFFF:
+            raise ValueError("prefix base has host bits set")
+
+    @property
+    def netmask(self) -> int:
+        """The prefix netmask as an int."""
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def __contains__(self, address: int) -> bool:
+        return (address & self.netmask) == self.base
+
+    def address(self, offset: int) -> int:
+        """The ``offset``-th address within the prefix."""
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset} outside /{self.length}")
+        return self.base + offset
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.base)}/{self.length}"
+
+
+class PrefixPool:
+    """Sequentially hands out non-overlapping /24 prefixes.
+
+    The pool starts at 1.0.0.0 and walks upward; this is a synthetic
+    numbering plan, not a claim about real allocations.
+    """
+
+    FIRST_BLOCK = 1 << 24  # 1.0.0.0
+    LAST_BLOCK = (223 << 24)  # stay within unicast space
+
+    def __init__(self) -> None:
+        self._next_block = self.FIRST_BLOCK
+
+    def allocate(self) -> Prefix:
+        """Allocate the next free /24."""
+        if self._next_block >= self.LAST_BLOCK:
+            raise RuntimeError("synthetic address space exhausted")
+        prefix = Prefix(self._next_block, 24)
+        self._next_block += 1 << 8
+        return prefix
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of /24 blocks handed out so far."""
+        return (self._next_block - self.FIRST_BLOCK) >> 8
+
+
+__all__ = ["format_ip", "parse_ip", "Prefix", "PrefixPool"]

@@ -1,0 +1,59 @@
+"""Authoritative DNS delegations.
+
+An extension substrate for the e-government DNS analyses the paper
+builds on (Sommese et al., CNSM 2022; Houser et al., DSN 2022): every
+registrable government domain delegates to a set of authoritative
+nameservers, either self-hosted on government infrastructure or
+outsourced to a managed-DNS provider.  The
+:mod:`repro.analysis.dnsdep` analysis measures the resulting
+third-party DNS dependency and its concentration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class NsDelegation:
+    """The authoritative-DNS delegation of one registrable domain."""
+
+    domain: str
+    nameservers: tuple[str, ...]
+    #: AS operating the authoritative servers.
+    provider_asn: int
+    #: Whether the nameservers sit inside the domain itself (in-bailiwick,
+    #: the self-hosted pattern: ``ns1.health.gov.br``).
+    self_hosted: bool
+
+    def __post_init__(self) -> None:
+        if not self.nameservers:
+            raise ValueError("a delegation needs at least one nameserver")
+
+
+class NsRegistry:
+    """Delegations of every government domain in the synthetic world."""
+
+    def __init__(self) -> None:
+        self._by_domain: dict[str, NsDelegation] = {}
+
+    def register(self, delegation: NsDelegation) -> None:
+        """Publish a delegation (one per registrable domain)."""
+        domain = delegation.domain.lower()
+        if domain in self._by_domain:
+            raise ValueError(f"duplicate delegation for {domain!r}")
+        self._by_domain[domain] = delegation
+
+    def lookup(self, domain: str) -> Optional[NsDelegation]:
+        """Delegation of ``domain`` (None when unknown)."""
+        return self._by_domain.get(domain.lower())
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+    def __iter__(self) -> Iterator[NsDelegation]:
+        return iter(self._by_domain.values())
+
+
+__all__ = ["NsDelegation", "NsRegistry"]

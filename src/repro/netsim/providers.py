@@ -1,0 +1,123 @@
+"""Catalog of global third-party providers.
+
+Figure 10 of the paper identifies 28 global providers serving
+government content, led by Cloudflare (49 of 61 countries), Amazon (31)
+and Microsoft/Azure (28).  This module declares those providers with
+their real ASNs and registration countries, an *adoption prior* that
+reproduces the country-count histogram, and footprint descriptions used
+by the generator to instantiate PoPs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Sentinel for providers with a PoP in essentially every sample country
+#: (large anycast CDNs).
+WIDE = "WIDE"
+
+#: Countries commonly hosting hyperscaler regions; used as the footprint of
+#: non-WIDE providers unless an explicit list is given.
+HUB_COUNTRIES = (
+    "US", "CA", "IE", "DE", "GB", "FR", "NL", "SE", "IT", "ES", "PL", "CH",
+    "JP", "SG", "AU", "IN", "KR", "HK", "ID", "AE", "BR", "ZA", "FI", "AT",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalProviderSpec:
+    """Static description of one global provider."""
+
+    key: str
+    name: str
+    asn: int
+    registration_country: str
+    #: Probability that a given sample country adopts this provider at all;
+    #: calibrated so the expected country counts match Figure 10.
+    adoption_prior: float
+    #: Either :data:`WIDE` or a tuple of country codes with PoPs.
+    footprint: object = HUB_COUNTRIES
+    anycast: bool = False
+    #: Relative weight among adopted providers when assigning deployments.
+    base_weight: float = 1.0
+
+
+#: The 28 global providers of Figure 10, most-adopted first.
+GLOBAL_PROVIDERS: tuple[GlobalProviderSpec, ...] = (
+    GlobalProviderSpec("cloudflare", "Cloudflare", 13335, "US", 0.80,
+                       WIDE, anycast=True, base_weight=3.0),
+    GlobalProviderSpec("amazon", "Amazon", 16509, "US", 0.51,
+                       base_weight=2.2),
+    GlobalProviderSpec("microsoft", "Microsoft", 8075, "US", 0.46,
+                       base_weight=2.0),
+    GlobalProviderSpec("hetzner", "Hetzner", 24940, "DE", 0.30,
+                       ("DE", "FI", "US", "SG"), base_weight=1.4),
+    GlobalProviderSpec("google", "Google", 396982, "US", 0.28,
+                       base_weight=1.3),
+    GlobalProviderSpec("ovh", "OVH", 16276, "FR", 0.25,
+                       ("FR", "DE", "PL", "GB", "CA", "US", "SG", "AU"),
+                       base_weight=1.2),
+    GlobalProviderSpec("incapsula", "Incapsula", 19551, "US", 0.21,
+                       WIDE, anycast=True, base_weight=1.0),
+    GlobalProviderSpec("digitalocean", "DigitalOcean", 14061, "US", 0.19,
+                       ("US", "NL", "DE", "GB", "SG", "IN", "CA", "AU"),
+                       base_weight=1.0),
+    GlobalProviderSpec("google-cloud", "Google Cloud", 15169, "US", 0.17,
+                       base_weight=0.9),
+    GlobalProviderSpec("akamai", "Akamai", 20940, "US", 0.15,
+                       WIDE, anycast=True, base_weight=0.9),
+    GlobalProviderSpec("fastly", "Fastly", 54113, "US", 0.14,
+                       WIDE, anycast=True, base_weight=0.8),
+    GlobalProviderSpec("cloudflare-lon", "Cloudflare London", 209242, "GB",
+                       0.12, WIDE, anycast=True, base_weight=0.6),
+    GlobalProviderSpec("unified-layer", "Unified Layer", 46606, "US", 0.11,
+                       ("US",), base_weight=0.6),
+    GlobalProviderSpec("sucuri", "Sucuri", 30148, "US", 0.10,
+                       WIDE, anycast=True, base_weight=0.5),
+    GlobalProviderSpec("automattic", "Automattic", 2635, "US", 0.09,
+                       ("US", "NL", "GB"), base_weight=0.5),
+    GlobalProviderSpec("akamai-linode", "Akamai Linode", 63949, "US", 0.09,
+                       ("US", "DE", "GB", "SG", "JP", "IN", "AU"),
+                       base_weight=0.5),
+    GlobalProviderSpec("softlayer", "SoftLayer", 36351, "US", 0.08,
+                       ("US", "DE", "GB", "JP", "AU"), base_weight=0.4),
+    GlobalProviderSpec("squarespace", "Squarespace", 53831, "US", 0.08,
+                       ("US",), base_weight=0.4),
+    GlobalProviderSpec("amazon-data", "Amazon Data Services", 14618, "US",
+                       0.07, ("US",), base_weight=0.4),
+    GlobalProviderSpec("servercentral", "Server Central", 23352, "US", 0.06,
+                       ("US",), base_weight=0.3),
+    GlobalProviderSpec("singlehop", "SingleHop", 32475, "US", 0.06,
+                       ("US",), base_weight=0.3),
+    GlobalProviderSpec("constant", "The Constant Company", 20473, "US", 0.05,
+                       ("US", "NL", "DE", "JP", "SG", "AU"), base_weight=0.3),
+    GlobalProviderSpec("inmotion", "InMotion Hosting", 54641, "US", 0.05,
+                       ("US",), base_weight=0.3),
+    GlobalProviderSpec("network-sol", "Network Solutions", 19871, "US", 0.04,
+                       ("US",), base_weight=0.25),
+    GlobalProviderSpec("ionos", "Ionos", 8560, "DE", 0.04,
+                       ("DE", "US", "GB", "ES"), base_weight=0.25),
+    GlobalProviderSpec("godaddy", "GoDaddy", 26496, "US", 0.04,
+                       ("US",), base_weight=0.2),
+    GlobalProviderSpec("godaddy-2", "GoDaddy Operating", 398101, "US", 0.03,
+                       ("US",), base_weight=0.2),
+    GlobalProviderSpec("voxility", "Voxility", 3223, "RO", 0.03,
+                       ("RO", "US", "GB", "DE"), base_weight=0.2),
+)
+
+PROVIDERS_BY_KEY = {spec.key: spec for spec in GLOBAL_PROVIDERS}
+
+
+def provider_keys() -> list[str]:
+    """Keys of all global providers, most-adopted first."""
+    return [spec.key for spec in GLOBAL_PROVIDERS]
+
+
+__all__ = [
+    "WIDE",
+    "HUB_COUNTRIES",
+    "GlobalProviderSpec",
+    "GLOBAL_PROVIDERS",
+    "PROVIDERS_BY_KEY",
+    "provider_keys",
+]

@@ -1,0 +1,127 @@
+"""IP prefix allocation and the registration database behind WHOIS.
+
+The generator asks the registry to allocate prefixes for an AS at a
+given PoP; the registry records which organization each prefix is
+registered to and in which country, mirroring the delegation data that
+public WHOIS services expose (Section 3.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.netsim.asn import AutonomousSystem, PoP
+from repro.netsim.ipaddr import Prefix, PrefixPool, format_ip
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry:
+    """Registration data for one allocated prefix."""
+
+    prefix: Prefix
+    asn: int
+    organization: str
+    #: WHOIS registration country of the holder (the AS's country, not the
+    #: physical server location).
+    registration_country: str
+
+
+class _Allocation:
+    """Mutable bookkeeping for one (AS, PoP) prefix with a bump allocator."""
+
+    __slots__ = ("prefix", "pop", "next_offset")
+
+    def __init__(self, prefix: Prefix, pop: PoP) -> None:
+        self.prefix = prefix
+        self.pop = pop
+        self.next_offset = 1  # skip the network address
+
+    def take_address(self) -> Optional[int]:
+        if self.next_offset >= self.prefix.size - 1:  # keep broadcast free
+            return None
+        address = self.prefix.address(self.next_offset)
+        self.next_offset += 1
+        return address
+
+
+class IpRegistry:
+    """Allocates prefixes and answers prefix-registration lookups."""
+
+    def __init__(self) -> None:
+        self._pool = PrefixPool()
+        self._entries: dict[int, RegistryEntry] = {}  # keyed by /24 block base
+        self._allocations: dict[tuple[int, str, str], _Allocation] = {}
+        self._pop_by_block: dict[int, PoP] = {}
+        self._ases: dict[int, AutonomousSystem] = {}
+
+    def register_as(self, autonomous_system: AutonomousSystem) -> None:
+        """Make an AS known to the registry (idempotent by ASN)."""
+        existing = self._ases.get(autonomous_system.asn)
+        if existing is not None and existing is not autonomous_system:
+            raise ValueError(f"ASN {autonomous_system.asn} already registered")
+        self._ases[autonomous_system.asn] = autonomous_system
+
+    def get_as(self, asn: int) -> AutonomousSystem:
+        """The AS object registered under ``asn``."""
+        return self._ases[asn]
+
+    def iter_ases(self) -> Iterator[AutonomousSystem]:
+        """All registered ASes."""
+        return iter(self._ases.values())
+
+    def allocate_address(self, autonomous_system: AutonomousSystem, pop: PoP) -> int:
+        """Hand out a fresh address for an AS at a specific PoP.
+
+        A new /24 is allocated transparently when the current one for the
+        (AS, PoP) pair fills up.
+        """
+        if autonomous_system.asn not in self._ases:
+            self.register_as(autonomous_system)
+        key = (autonomous_system.asn, pop.country, pop.city)
+        allocation = self._allocations.get(key)
+        if allocation is not None:
+            address = allocation.take_address()
+            if address is not None:
+                return address
+        prefix = self._pool.allocate()
+        self._entries[prefix.base] = RegistryEntry(
+            prefix=prefix,
+            asn=autonomous_system.asn,
+            organization=autonomous_system.organization,
+            registration_country=autonomous_system.registration_country,
+        )
+        allocation = _Allocation(prefix, pop)
+        self._allocations[key] = allocation
+        self._pop_by_block[prefix.base] = pop
+        address = allocation.take_address()
+        assert address is not None
+        return address
+
+    def lookup(self, address: int) -> RegistryEntry:
+        """Registration entry covering ``address``.
+
+        Raises :class:`KeyError` for unallocated space (the equivalent of an
+        empty WHOIS response).
+        """
+        block = address & 0xFFFFFF00
+        entry = self._entries.get(block)
+        if entry is None:
+            raise KeyError(f"no registration covering {format_ip(address)}")
+        return entry
+
+    def pop_of(self, address: int) -> PoP:
+        """Ground-truth PoP an address was allocated at (generator/tests only)."""
+        block = address & 0xFFFFFF00
+        pop = self._pop_by_block.get(block)
+        if pop is None:
+            raise KeyError(f"no PoP recorded for {format_ip(address)}")
+        return pop
+
+    @property
+    def prefix_count(self) -> int:
+        """Number of allocated prefixes."""
+        return len(self._entries)
+
+
+__all__ = ["IpRegistry", "RegistryEntry"]

@@ -1,0 +1,71 @@
+"""TLS certificates with Subject Alternative Names.
+
+The paper's third URL-filtering heuristic (Table 1) inspects the SAN
+lists of landing-page certificates to catch government resources that
+use neither a government TLD nor a hostname from the curated list
+(e.g. ``energia-argentina.com.ar``); Appendix D reuses SANs for the
+topsites self-hosting heuristic.  We model just the fields those
+heuristics read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """A served TLS certificate (subject CN plus SAN list).
+
+    ``valid`` is False for self-signed or expired certificates -- the
+    long tail Singanamalla et al. measured on government sites.
+    """
+
+    subject: str
+    sans: tuple[str, ...]
+    valid: bool = True
+
+    def covers(self, hostname: str) -> bool:
+        """Whether the certificate is valid for ``hostname``.
+
+        Supports single-label wildcards (``*.example.gov``), as in RFC 6125.
+        """
+        hostname = hostname.lower()
+        names = (self.subject,) + self.sans
+        for name in names:
+            name = name.lower()
+            if name == hostname:
+                return True
+            if name.startswith("*.") and fnmatch.fnmatch(hostname, name):
+                # The wildcard must not swallow additional labels.
+                if hostname.count(".") == name.count("."):
+                    return True
+        return False
+
+
+class CertificateStore:
+    """Certificates indexed by the hostname that serves them."""
+
+    def __init__(self) -> None:
+        self._by_host: dict[str, Certificate] = {}
+
+    def install(self, hostname: str, certificate: Certificate) -> None:
+        """Attach a certificate to a serving hostname."""
+        self._by_host[hostname.lower()] = certificate
+
+    def get(self, hostname: str) -> Optional[Certificate]:
+        """Certificate served for ``hostname`` (None if HTTP-only)."""
+        return self._by_host.get(hostname.lower())
+
+    def sans_of(self, hostname: str) -> tuple[str, ...]:
+        """SAN list of the certificate at ``hostname`` (empty if none)."""
+        certificate = self.get(hostname)
+        return certificate.sans if certificate else ()
+
+    def __len__(self) -> int:
+        return len(self._by_host)
+
+
+__all__ = ["Certificate", "CertificateStore"]

@@ -1,0 +1,70 @@
+"""WHOIS query surface over the synthetic registry.
+
+The paper resolves each server address to its AS number, organization
+and country of registration using public WHOIS services (Section 3.4),
+and uses organization names and contact e-mail domains to corroborate
+government ownership of networks.  This module reproduces that query
+surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.netsim.registry import IpRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class WhoisRecord:
+    """The answer to a WHOIS query for one IP address."""
+
+    address: int
+    asn: int
+    organization: str
+    registration_country: str
+    contact_email: Optional[str]
+    as_name: str
+
+
+class WhoisService:
+    """Answers IP-level and AS-level WHOIS queries."""
+
+    def __init__(self, registry: IpRegistry) -> None:
+        self._registry = registry
+
+    def query_ip(self, address: int) -> WhoisRecord:
+        """Full WHOIS record for an address.
+
+        Raises :class:`KeyError` when no registration covers the address.
+        """
+        entry = self._registry.lookup(address)
+        autonomous_system = self._registry.get_as(entry.asn)
+        email = None
+        if autonomous_system.contact_domain:
+            email = f"noc@{autonomous_system.contact_domain}"
+        return WhoisRecord(
+            address=address,
+            asn=entry.asn,
+            organization=entry.organization,
+            registration_country=entry.registration_country,
+            contact_email=email,
+            as_name=autonomous_system.name,
+        )
+
+    def query_asn(self, asn: int) -> dict[str, Optional[str]]:
+        """AS-level WHOIS attributes (organization, country, website, email)."""
+        autonomous_system = self._registry.get_as(asn)
+        email = None
+        if autonomous_system.contact_domain:
+            email = f"admin@{autonomous_system.contact_domain}"
+        return {
+            "as-name": autonomous_system.name,
+            "org": autonomous_system.organization,
+            "country": autonomous_system.registration_country,
+            "website": autonomous_system.website,
+            "email": email,
+        }
+
+
+__all__ = ["WhoisService", "WhoisRecord"]

@@ -1,0 +1,16 @@
+"""Rendering of paper-style tables and figure data as text."""
+
+from repro.reporting.tables import render_table, format_fraction
+from repro.reporting.figures import (
+    render_mix_bars,
+    render_split_bars,
+    render_region_table,
+)
+
+__all__ = [
+    "render_table",
+    "format_fraction",
+    "render_mix_bars",
+    "render_split_bars",
+    "render_region_table",
+]

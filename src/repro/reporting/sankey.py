@@ -1,0 +1,91 @@
+"""Figure 9 Sankey data export.
+
+Builds the data structure behind the paper's circular Sankey diagrams
+-- nodes grouped by World Bank region, flows from source government to
+the foreign country it depends on -- and serializes it to the JSON
+shape plotting libraries (d3-sankey, plotly) consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.analysis.crossborder import Basis, flows, region_of
+from repro.core.dataset import GovernmentHostingDataset
+
+
+@dataclasses.dataclass(frozen=True)
+class SankeyNode:
+    """One country on the diagram's ring."""
+
+    code: str
+    region: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SankeyLink:
+    """One cross-border dependency flow."""
+
+    source: str
+    target: str
+    urls: int
+    bytes: int
+    source_region: str
+    target_region: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SankeyDiagram:
+    """All Figure 9 inputs for one basis (registration / server)."""
+
+    basis: str
+    nodes: tuple[SankeyNode, ...]
+    links: tuple[SankeyLink, ...]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize for d3-sankey / plotly consumption."""
+        return json.dumps({
+            "basis": self.basis,
+            "nodes": [dataclasses.asdict(node) for node in self.nodes],
+            "links": [dataclasses.asdict(link) for link in self.links],
+        }, indent=indent)
+
+    def region_matrix(self) -> dict[tuple[str, str], int]:
+        """URL flows aggregated to (source region, target region)."""
+        matrix: dict[tuple[str, str], int] = {}
+        for link in self.links:
+            key = (link.source_region, link.target_region)
+            matrix[key] = matrix.get(key, 0) + link.urls
+        return matrix
+
+
+def build_sankey(
+    dataset: GovernmentHostingDataset, basis: Basis = "server",
+    min_urls: int = 1,
+) -> SankeyDiagram:
+    """Build the Figure 9 diagram data from a measured dataset."""
+    links = []
+    node_codes: set[str] = set()
+    for flow in flows(dataset, basis):
+        if flow.url_count < min_urls:
+            continue
+        links.append(SankeyLink(
+            source=flow.source,
+            target=flow.destination,
+            urls=flow.url_count,
+            bytes=flow.byte_count,
+            source_region=region_of(flow.source).name,
+            target_region=region_of(flow.destination).name,
+        ))
+        node_codes.add(flow.source)
+        node_codes.add(flow.destination)
+    nodes = tuple(
+        SankeyNode(code=code, region=region_of(code).name)
+        for code in sorted(node_codes, key=lambda c: (region_of(c).name, c))
+    )
+    return SankeyDiagram(basis=basis, nodes=nodes, links=tuple(links))
+
+
+__all__ = ["SankeyNode", "SankeyLink", "SankeyDiagram", "build_sankey"]

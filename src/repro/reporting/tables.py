@@ -1,0 +1,39 @@
+"""Plain-text table rendering used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_fraction(value: float, digits: int = 2) -> str:
+    """A fraction like the paper prints them (e.g. ``0.39``)."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(widths[index]) for index, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["format_fraction", "render_table"]

@@ -1,0 +1,69 @@
+"""Small URL and domain-name utilities shared across the library.
+
+Implements just enough URL handling for the pipeline: extracting
+hostnames, paths, and *registrable domains* (the "2LD" of the paper's
+Appendix D, i.e. 2LD+TLD, accounting for country-code second-level
+registries such as ``com.ar`` or ``co.uk``).
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urlsplit
+
+#: Second-level labels under which ccTLD registries delegate names; a domain
+#: like ``example.com.ar`` has registrable domain ``example.com.ar``, not
+#: ``com.ar``.
+_CC_SECOND_LEVEL = {
+    "com", "org", "net", "edu", "gov", "gob", "gub", "gouv", "govt", "go",
+    "mil", "ac", "co", "or", "ne", "in", "web", "fed", "admin", "nic",
+}
+
+
+def hostname_of(url: str) -> str:
+    """Lower-cased hostname of a URL.
+
+    Raises :class:`ValueError` for URLs without a network location.
+    """
+    parts = urlsplit(url)
+    if not parts.hostname:
+        raise ValueError(f"URL has no hostname: {url!r}")
+    return parts.hostname.lower()
+
+
+def path_of(url: str) -> str:
+    """Path component of a URL ('/' when empty)."""
+    return urlsplit(url).path or "/"
+
+
+def registrable_domain(hostname: str) -> str:
+    """The 2LD+TLD a user could register (Appendix D's "2LD").
+
+    ``www.ipc.gob.mx`` -> ``ipc.gob.mx``; ``cdn.example.com`` ->
+    ``example.com``.  Single-label names are returned unchanged.
+    """
+    labels = hostname.lower().rstrip(".").split(".")
+    if len(labels) <= 2:
+        return ".".join(labels)
+    # ccTLD with a delegated second level (e.g. gob.mx, com.ar, gov.uk).
+    if len(labels[-1]) == 2 and labels[-2] in _CC_SECOND_LEVEL:
+        return ".".join(labels[-3:])
+    return ".".join(labels[-2:])
+
+
+def same_registrable_domain(host_a: str, host_b: str) -> bool:
+    """Whether two hostnames share a registrable domain."""
+    return registrable_domain(host_a) == registrable_domain(host_b)
+
+
+def labels_of(hostname: str) -> tuple[str, ...]:
+    """DNS labels of a hostname, lower-cased, root dot stripped."""
+    return tuple(hostname.lower().rstrip(".").split("."))
+
+
+__all__ = [
+    "hostname_of",
+    "path_of",
+    "registrable_domain",
+    "same_registrable_domain",
+    "labels_of",
+]

@@ -1,0 +1,25 @@
+"""Web substrate: synthetic government sites, serving fabric and browser.
+
+Site trees mirror the structure the paper measured (Section 4.2): 84%
+of unique URLs sit on landing pages and 95% within one level below,
+with trees reaching up to seven levels.  The browser produces HAR-like
+records exactly as the Selenium harness of Section 3.2 did.
+"""
+
+from repro.websim.sites import Resource, Page, GovernmentSite
+from repro.websim.webserver import WebFabric, GeoBlockedError, PageNotFoundError
+from repro.websim.browser import Browser, PageLoad
+from repro.websim.topsites import TopSite, TopsiteHosting
+
+__all__ = [
+    "Resource",
+    "Page",
+    "GovernmentSite",
+    "WebFabric",
+    "GeoBlockedError",
+    "PageNotFoundError",
+    "Browser",
+    "PageLoad",
+    "TopSite",
+    "TopsiteHosting",
+]

@@ -1,0 +1,62 @@
+"""Selenium-equivalent page loader producing HAR-like records.
+
+Section 3.2 of the paper drives Selenium to load each page and captures
+the URL of every constituent resource into an HTTP Archive (HAR) file.
+:class:`Browser` performs the same job against the synthetic web: load
+a page from a given vantage, record one HAR entry per fetched object
+and surface the internal links used for recursive crawling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.har import HarEntry
+from repro.measure.vpn import VantagePoint
+from repro.websim.webserver import WebFabric
+
+
+@dataclasses.dataclass(frozen=True)
+class PageLoad:
+    """Result of rendering one page."""
+
+    url: str
+    entries: tuple[HarEntry, ...]
+    links: tuple[str, ...]
+
+
+class Browser:
+    """Loads pages through a vantage point and emits HAR entries."""
+
+    def __init__(self, web: WebFabric) -> None:
+        self._web = web
+
+    def load(self, url: str, vantage: VantagePoint) -> PageLoad:
+        """Render ``url`` as seen from ``vantage``.
+
+        Propagates :class:`~repro.websim.webserver.PageNotFoundError` and
+        :class:`~repro.websim.webserver.GeoBlockedError` to the caller;
+        the crawler decides how to handle them.
+        """
+        page = self._web.fetch(url, vantage.country)
+        entries = [
+            HarEntry(
+                url=page.url,
+                hostname=page.hostname,
+                size_bytes=page.size_bytes,
+                content_type="text/html",
+            )
+        ]
+        for resource in page.resources:
+            entries.append(
+                HarEntry(
+                    url=resource.url,
+                    hostname=resource.hostname,
+                    size_bytes=resource.size_bytes,
+                    content_type=resource.content_type,
+                )
+            )
+        return PageLoad(url=url, entries=tuple(entries), links=page.links)
+
+
+__all__ = ["PageLoad", "Browser"]

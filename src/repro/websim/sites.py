@@ -1,0 +1,98 @@
+"""Data model of synthetic government websites.
+
+A :class:`GovernmentSite` owns a tree of :class:`Page` objects rooted
+at a landing page.  Pages embed :class:`Resource` objects (the unique
+URLs the study counts) and link to deeper internal pages, up to the
+seven levels the crawler explores.  Resources may live on the site's
+own hostname, on sibling government hostnames (e.g. a ``static.``
+asset host), on SAN-verified affiliated hostnames, or on external
+contractor domains that the URL filter must discard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, Optional
+
+
+class SiteKind(enum.Enum):
+    """Organizational flavour of a government site."""
+
+    MINISTRY = "ministry"
+    AGENCY = "agency"
+    SOE = "state-owned enterprise"
+
+
+@dataclasses.dataclass(frozen=True)
+class Resource:
+    """One fetchable object (the unit the paper counts as a unique URL)."""
+
+    url: str
+    hostname: str
+    size_bytes: int
+    content_type: str = "text/html"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("resource size must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Page:
+    """A crawlable page: its own resource plus embedded content and links."""
+
+    url: str
+    hostname: str
+    depth: int
+    #: Objects fetched when rendering the page (images, scripts, ...).
+    resources: tuple[Resource, ...]
+    #: URLs of internal pages linked from this page.
+    links: tuple[str, ...]
+    #: Page size in bytes (the page document itself).
+    size_bytes: int = 15_000
+
+    def all_resource_urls(self) -> list[str]:
+        """URLs of every object loaded by this page, page itself included."""
+        return [self.url] + [resource.url for resource in self.resources]
+
+
+@dataclasses.dataclass
+class GovernmentSite:
+    """A government web property rooted at one landing page."""
+
+    country: str
+    hostname: str
+    landing_url: str
+    kind: SiteKind
+    pages: dict[str, Page]
+    #: Whether the site refuses requests from outside its country
+    #: (footnote 1 of the paper: e.g. www.prodecon.gob.mx).
+    geo_restricted: bool = False
+
+    def landing_page(self) -> Page:
+        """The landing page object."""
+        return self.pages[self.landing_url]
+
+    def page(self, url: str) -> Optional[Page]:
+        """The page at ``url`` if it belongs to this site."""
+        return self.pages.get(url)
+
+    def iter_pages(self) -> Iterator[Page]:
+        """All pages of the site."""
+        return iter(self.pages.values())
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest page level present in the tree."""
+        return max(page.depth for page in self.pages.values())
+
+    def unique_urls(self) -> set[str]:
+        """Every unique URL reachable by fully crawling the site."""
+        urls: set[str] = set()
+        for page in self.pages.values():
+            urls.update(page.all_resource_urls())
+        return urls
+
+
+__all__ = ["SiteKind", "Resource", "Page", "GovernmentSite"]

@@ -1,0 +1,59 @@
+"""Popular ("top") websites used for the government-vs-topsites comparison.
+
+Appendix D of the paper compares government hosting against the popular
+sites of 14 selected countries (two per region, Table 6), compiled from
+Google's Chrome User Experience Report (CrUX).  Topsites are scraped
+only one level past the landing page and classified with a
+CNAME/SAN-based self-hosting heuristic into: (1) self-hosting,
+(2) global, (3) local and (4) foreign providers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class TopsiteHosting(enum.Enum):
+    """Hosting categories of the topsites comparison (Appendix D)."""
+
+    SELF_HOSTING = "Self-Hosting"
+    GLOBAL = "3P Global"
+    LOCAL = "3P Local"
+    FOREIGN = "3P Regional"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class TopSite:
+    """One popular website from a country's CrUX-style ranking."""
+
+    country: str
+    hostname: str
+    landing_url: str
+    rank: int
+    #: Ground-truth hosting category (generator/tests only; the analysis
+    #: re-derives the category via the CNAME/SAN heuristic).
+    truth_hosting: TopsiteHosting
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError("rank is 1-based")
+
+
+#: The 14 comparison countries (Table 6): two per region with differing
+#: digital-development strata.
+COMPARISON_COUNTRIES: tuple[str, ...] = (
+    "CA", "US",        # North America
+    "MX", "BR",        # Latin America and the Caribbean
+    "FR", "BA",        # Europe and Central Asia
+    "AE", "IL",        # Middle East and North Africa
+    "ZA", "EG",        # Sub-Saharan Africa / North Africa (per Table 6)
+    "IN", "PK",        # South Asia
+    "JP", "NZ",        # East Asia and Pacific
+)
+
+
+__all__ = ["TopsiteHosting", "TopSite", "COMPARISON_COUNTRIES"]

@@ -1,0 +1,26 @@
+"""Synthetic world model: countries, regions, geography, and hosting profiles.
+
+This subpackage encodes the *published* constants the paper builds on --
+the 61-country sample with its development indices (Table 9), the
+per-country dataset sizes (Table 8), World Bank regions, country
+geography -- plus the per-country hosting profiles that drive the
+synthetic Internet generator.
+"""
+
+from repro.world.regions import Region, Continent
+from repro.world.countries import Country, COUNTRIES, get_country, iter_countries
+from repro.world.geography import haversine_km, country_distance_km
+from repro.world.profiles import HostingProfile, get_profile
+
+__all__ = [
+    "Region",
+    "Continent",
+    "Country",
+    "COUNTRIES",
+    "get_country",
+    "iter_countries",
+    "haversine_km",
+    "country_distance_km",
+    "HostingProfile",
+    "get_profile",
+]

@@ -1,0 +1,50 @@
+"""Mobile-data prices for the affordability analysis (extension).
+
+Approximate 2023 median prices of one gigabyte of mobile data in USD,
+from public price-comparison compilations (the kind Habib et al.'s
+affordability study of public-service websites builds on).  Values are
+coarse but preserve the ordering that matters: data is cheapest in
+India/Italy-style markets and most expensive in small or low-income
+markets.
+"""
+
+from __future__ import annotations
+
+from repro.world.countries import COUNTRIES, get_country
+
+#: USD per GB of mobile data (approximate medians).
+DATA_PRICE_USD_PER_GB: dict[str, float] = {
+    "US": 5.62, "CA": 5.94, "RU": 0.46, "DE": 2.67, "TR": 0.58, "GB": 0.79,
+    "FR": 0.23, "IT": 0.12, "ES": 0.60, "UA": 0.46, "PL": 0.66, "KZ": 0.44,
+    "NL": 3.40, "RO": 0.38, "BE": 2.93, "SE": 1.98, "CZ": 2.94, "PT": 0.82,
+    "HU": 1.85, "CH": 4.08, "GR": 1.87, "RS": 1.16, "DK": 1.32, "NO": 2.19,
+    "BG": 0.81, "GE": 1.29, "MD": 0.61, "BA": 1.10, "AL": 1.05, "LV": 0.87,
+    "EE": 1.09, "CN": 0.41, "ID": 0.28, "JP": 3.85, "VN": 0.28, "TH": 0.41,
+    "KR": 3.77, "MY": 0.29, "AU": 0.36, "TW": 0.82, "HK": 0.61, "SG": 0.35,
+    "NZ": 2.78, "IN": 0.16, "BD": 0.32, "PK": 0.36, "EG": 0.56, "DZ": 0.49,
+    "MA": 0.62, "AE": 3.01, "IL": 0.11, "NG": 0.38, "ZA": 1.77, "BR": 0.89,
+    "MX": 1.82, "AR": 0.55, "CL": 0.39, "BO": 1.51, "PY": 0.44, "CR": 1.95,
+    "UY": 0.84,
+}
+
+
+def data_price_usd_per_gb(code: str) -> float:
+    """Mobile-data price for a sample country."""
+    return DATA_PRICE_USD_PER_GB[code.upper()]
+
+
+def daily_income_usd(code: str) -> float:
+    """A coarse daily-income proxy: GDP per capita spread over the year."""
+    return get_country(code).gdp_per_capita_kusd * 1000.0 / 365.0
+
+
+def _validate() -> None:
+    missing = set(COUNTRIES) - set(DATA_PRICE_USD_PER_GB)
+    if missing:  # pragma: no cover - guarded by tests
+        raise RuntimeError(f"missing data prices for {sorted(missing)}")
+
+
+_validate()
+
+__all__ = ["DATA_PRICE_USD_PER_GB", "data_price_usd_per_gb",
+           "daily_income_usd"]

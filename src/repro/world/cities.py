@@ -1,0 +1,171 @@
+"""City coordinates used for probes, PoPs and road-distance thresholds.
+
+Each sample country gets its capital plus up to three further large
+cities.  RIPE-Atlas-like probes (:mod:`repro.measure.atlas`) are placed
+in these cities, provider PoPs are anchored to them, and the
+per-country latency threshold of Section 3.5 is derived from the
+intercity road distance between the two furthest cities.
+
+A handful of *hosting-only* territories (places where government
+content of sample countries is served from, but which are not part of
+the sample themselves -- e.g. New Caledonia for France) are also
+listed; the paper found servers in 68 countries for its 61-country
+sample (Table 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.world.regions import Continent, Region
+
+
+@dataclasses.dataclass(frozen=True)
+class City:
+    """A named location within a country."""
+
+    name: str
+    lat: float
+    lon: float
+
+
+#: Capital first; order matters (probes prefer earlier cities).
+CITIES: dict[str, tuple[City, ...]] = {
+    "US": (City("Washington", 38.9, -77.0), City("New York", 40.7, -74.0),
+           City("Los Angeles", 34.1, -118.2), City("Chicago", 41.9, -87.6)),
+    "CA": (City("Ottawa", 45.4, -75.7), City("Toronto", 43.7, -79.4),
+           City("Vancouver", 49.3, -123.1)),
+    "RU": (City("Moscow", 55.8, 37.6), City("Saint Petersburg", 59.9, 30.3),
+           City("Novosibirsk", 55.0, 82.9)),
+    "DE": (City("Berlin", 52.5, 13.4), City("Frankfurt", 50.1, 8.7),
+           City("Munich", 48.1, 11.6)),
+    "TR": (City("Ankara", 39.9, 32.9), City("Istanbul", 41.0, 28.9),
+           City("Izmir", 38.4, 27.1)),
+    "GB": (City("London", 51.5, -0.1), City("Manchester", 53.5, -2.2),
+           City("Edinburgh", 55.9, -3.2)),
+    "FR": (City("Paris", 48.9, 2.3), City("Lyon", 45.8, 4.8),
+           City("Marseille", 43.3, 5.4)),
+    "IT": (City("Rome", 41.9, 12.5), City("Milan", 45.5, 9.2),
+           City("Naples", 40.8, 14.3)),
+    "ES": (City("Madrid", 40.4, -3.7), City("Barcelona", 41.4, 2.2),
+           City("Seville", 37.4, -6.0)),
+    "UA": (City("Kyiv", 50.5, 30.5), City("Lviv", 49.8, 24.0),
+           City("Odesa", 46.5, 30.7)),
+    "PL": (City("Warsaw", 52.2, 21.0), City("Krakow", 50.1, 19.9),
+           City("Gdansk", 54.4, 18.6)),
+    "KZ": (City("Astana", 51.2, 71.4), City("Almaty", 43.2, 76.9)),
+    "NL": (City("Amsterdam", 52.4, 4.9), City("Rotterdam", 51.9, 4.5),
+           City("Groningen", 53.2, 6.6)),
+    "RO": (City("Bucharest", 44.4, 26.1), City("Cluj-Napoca", 46.8, 23.6)),
+    "BE": (City("Brussels", 50.9, 4.4), City("Antwerp", 51.2, 4.4),
+           City("Liege", 50.6, 5.6)),
+    "SE": (City("Stockholm", 59.3, 18.1), City("Gothenburg", 57.7, 12.0),
+           City("Malmo", 55.6, 13.0)),
+    "CZ": (City("Prague", 50.1, 14.4), City("Brno", 49.2, 16.6)),
+    "PT": (City("Lisbon", 38.7, -9.1), City("Porto", 41.1, -8.6)),
+    "HU": (City("Budapest", 47.5, 19.0), City("Debrecen", 47.5, 21.6)),
+    "CH": (City("Bern", 46.9, 7.4), City("Zurich", 47.4, 8.5),
+           City("Geneva", 46.2, 6.1)),
+    "GR": (City("Athens", 38.0, 23.7), City("Thessaloniki", 40.6, 23.0)),
+    "RS": (City("Belgrade", 44.8, 20.5), City("Novi Sad", 45.3, 19.8)),
+    "DK": (City("Copenhagen", 55.7, 12.6), City("Aarhus", 56.2, 10.2)),
+    "NO": (City("Oslo", 59.9, 10.8), City("Bergen", 60.4, 5.3),
+           City("Trondheim", 63.4, 10.4)),
+    "BG": (City("Sofia", 42.7, 23.3), City("Varna", 43.2, 27.9)),
+    "GE": (City("Tbilisi", 41.7, 44.8), City("Batumi", 41.6, 41.6)),
+    "MD": (City("Chisinau", 47.0, 28.9), City("Balti", 47.8, 27.9)),
+    "BA": (City("Sarajevo", 43.9, 18.4), City("Banja Luka", 44.8, 17.2)),
+    "AL": (City("Tirana", 41.3, 19.8), City("Durres", 41.3, 19.4)),
+    "LV": (City("Riga", 56.9, 24.1), City("Daugavpils", 55.9, 26.5)),
+    "EE": (City("Tallinn", 59.4, 24.8), City("Tartu", 58.4, 26.7)),
+    "CN": (City("Beijing", 39.9, 116.4), City("Shanghai", 31.2, 121.5),
+           City("Guangzhou", 23.1, 113.3), City("Chengdu", 30.7, 104.1)),
+    "ID": (City("Jakarta", -6.2, 106.8), City("Surabaya", -7.3, 112.7),
+           City("Medan", 3.6, 98.7)),
+    "JP": (City("Tokyo", 35.7, 139.7), City("Osaka", 34.7, 135.5),
+           City("Sapporo", 43.1, 141.4)),
+    "VN": (City("Hanoi", 21.0, 105.8), City("Ho Chi Minh City", 10.8, 106.7)),
+    "TH": (City("Bangkok", 13.8, 100.5), City("Chiang Mai", 18.8, 99.0)),
+    "KR": (City("Seoul", 37.6, 127.0), City("Busan", 35.2, 129.1)),
+    "MY": (City("Kuala Lumpur", 3.1, 101.7), City("Penang", 5.4, 100.3),
+           City("Johor Bahru", 1.5, 103.7)),
+    "AU": (City("Canberra", -35.3, 149.1), City("Sydney", -33.9, 151.2),
+           City("Melbourne", -37.8, 145.0), City("Perth", -31.9, 115.9)),
+    "TW": (City("Taipei", 25.0, 121.6), City("Kaohsiung", 22.6, 120.3)),
+    "HK": (City("Hong Kong", 22.3, 114.2),),
+    "SG": (City("Singapore", 1.3, 103.8),),
+    "NZ": (City("Wellington", -41.3, 174.8), City("Auckland", -36.8, 174.8),
+           City("Christchurch", -43.5, 172.6)),
+    "IN": (City("New Delhi", 28.6, 77.2), City("Mumbai", 19.1, 72.9),
+           City("Chennai", 13.1, 80.3), City("Kolkata", 22.6, 88.4)),
+    "BD": (City("Dhaka", 23.8, 90.4), City("Chattogram", 22.4, 91.8)),
+    "PK": (City("Islamabad", 33.7, 73.1), City("Karachi", 24.9, 67.0),
+           City("Lahore", 31.5, 74.3)),
+    "EG": (City("Cairo", 30.0, 31.2), City("Alexandria", 31.2, 29.9),
+           City("Aswan", 24.1, 32.9)),
+    "DZ": (City("Algiers", 36.8, 3.1), City("Oran", 35.7, -0.6)),
+    "MA": (City("Rabat", 34.0, -6.8), City("Casablanca", 33.6, -7.6),
+           City("Marrakesh", 31.6, -8.0)),
+    "AE": (City("Abu Dhabi", 24.5, 54.4), City("Dubai", 25.2, 55.3)),
+    "IL": (City("Jerusalem", 31.8, 35.2), City("Tel Aviv", 32.1, 34.8),
+           City("Haifa", 32.8, 35.0)),
+    "NG": (City("Abuja", 9.1, 7.4), City("Lagos", 6.5, 3.4),
+           City("Kano", 12.0, 8.5)),
+    "ZA": (City("Pretoria", -25.7, 28.2), City("Johannesburg", -26.2, 28.0),
+           City("Cape Town", -33.9, 18.4), City("Durban", -29.9, 31.0)),
+    "BR": (City("Brasilia", -15.8, -47.9), City("Sao Paulo", -23.6, -46.6),
+           City("Rio de Janeiro", -22.9, -43.2), City("Manaus", -3.1, -60.0)),
+    "MX": (City("Mexico City", 19.4, -99.1), City("Guadalajara", 20.7, -103.3),
+           City("Monterrey", 25.7, -100.3)),
+    "AR": (City("Buenos Aires", -34.6, -58.4), City("Cordoba", -31.4, -64.2),
+           City("Mendoza", -32.9, -68.8)),
+    "CL": (City("Santiago", -33.5, -70.7), City("Valparaiso", -33.0, -71.6),
+           City("Punta Arenas", -53.2, -70.9)),
+    "BO": (City("La Paz", -16.5, -68.1), City("Santa Cruz", -17.8, -63.2)),
+    "PY": (City("Asuncion", -25.3, -57.6), City("Ciudad del Este", -25.5, -54.6)),
+    "CR": (City("San Jose", 9.9, -84.1), City("Limon", 10.0, -83.0)),
+    "UY": (City("Montevideo", -34.9, -56.2), City("Salto", -31.4, -57.9)),
+}
+
+#: Hosting-only territories: places where content of sample governments is
+#: served from without being part of the sample (brings the total number of
+#: countries with servers to 68, as in Table 3).
+EXTRA_TERRITORIES: dict[str, tuple[str, Region, Continent, City]] = {
+    "NC": ("New Caledonia", Region.EAP, Continent.OCEANIA, City("Noumea", -22.3, 166.4)),
+    "CO": ("Colombia", Region.LAC, Continent.SOUTH_AMERICA, City("Bogota", 4.7, -74.1)),
+    "NP": ("Nepal", Region.SA, Continent.ASIA, City("Kathmandu", 27.7, 85.3)),
+    "AT": ("Austria", Region.ECA, Continent.EUROPE, City("Vienna", 48.2, 16.4)),
+    "SK": ("Slovakia", Region.ECA, Continent.EUROPE, City("Bratislava", 48.1, 17.1)),
+    "FI": ("Finland", Region.ECA, Continent.EUROPE, City("Helsinki", 60.2, 24.9)),
+    "IE": ("Ireland", Region.ECA, Continent.EUROPE, City("Dublin", 53.3, -6.3)),
+}
+
+
+def cities_of(code: str) -> tuple[City, ...]:
+    """Cities of a sample country or hosting-only territory."""
+    code = code.upper()
+    if code in CITIES:
+        return CITIES[code]
+    if code in EXTRA_TERRITORIES:
+        return (EXTRA_TERRITORIES[code][3],)
+    raise KeyError(f"no city data for country code {code!r}")
+
+
+def capital_of(code: str) -> City:
+    """The anchor (capital) city of a country."""
+    return cities_of(code)[0]
+
+
+def all_location_codes() -> list[str]:
+    """Codes of every place a server may be located in (sample + extras)."""
+    return list(CITIES) + list(EXTRA_TERRITORIES)
+
+
+__all__ = [
+    "City",
+    "CITIES",
+    "EXTRA_TERRITORIES",
+    "cities_of",
+    "capital_of",
+    "all_location_codes",
+]

@@ -1,0 +1,301 @@
+"""The 61-country sample of the study with its published attributes.
+
+This module hard-codes the constants the paper reports:
+
+* Table 9: region, E-Government Development Index (EGDI), Human
+  Development Index (HDI), Internet Usage Index (IUI, i.e. Internet
+  penetration), share of the world's Internet population, and the VPN
+  provider used to reach each country.
+* Table 8: per-country dataset sizes (landing URLs, internal URLs and
+  unique government hostnames) which the synthetic generator scales.
+* Appendix E features: GDP per capita, Network Readiness Index (NRI),
+  Economic Freedom Index (EFI) and ICT Development Index (IDI)
+  approximations from the public sources the paper cites.
+
+Country geography (centroid, largest cities) lives in
+:mod:`repro.world.cities`; the two are joined by ISO alpha-2 code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.world.regions import Continent, Region
+
+#: Total world Internet users assumed when converting a country's share of
+#: the world's Internet population into an absolute user count (millions).
+WORLD_INTERNET_USERS_M = 5300.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Country:
+    """A country in the study sample with its published attributes."""
+
+    code: str
+    name: str
+    region: Region
+    continent: Continent
+    cctld: str
+    #: Government domain suffixes conventionally used by this country
+    #: (e.g. ``("gov.uk",)``).  Empty for countries such as Germany or the
+    #: Netherlands that follow no convention (Section 8).
+    gov_suffixes: tuple[str, ...]
+    egdi: Optional[float]
+    hdi: Optional[float]
+    iui: Optional[float]
+    #: Share (percent) of the world's Internet population (Table 9).
+    internet_pop_share: float
+    vpn_provider: str
+    #: Table 8 statistics at full (paper) scale.
+    landing_urls: int
+    internal_urls: int
+    hostnames: int
+    #: Appendix E explanatory features (public-source approximations).
+    gdp_per_capita_kusd: float
+    nri: float
+    efi: float
+    idi: float
+    eu_member: bool = False
+
+    @property
+    def internet_users_m(self) -> float:
+        """Absolute Internet users in millions, derived from the share."""
+        return self.internet_pop_share / 100.0 * WORLD_INTERNET_USERS_M
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.code})"
+
+
+def _c(
+    code: str,
+    name: str,
+    region: Region,
+    continent: Continent,
+    cctld: str,
+    gov_suffixes: tuple[str, ...],
+    egdi: Optional[float],
+    hdi: Optional[float],
+    iui: Optional[float],
+    share: float,
+    vpn: str,
+    landing: int,
+    internal: int,
+    hostnames: int,
+    gdp: float,
+    nri: float,
+    efi: float,
+    idi: float,
+    eu: bool = False,
+) -> Country:
+    return Country(
+        code=code,
+        name=name,
+        region=region,
+        continent=continent,
+        cctld=cctld,
+        gov_suffixes=gov_suffixes,
+        egdi=egdi,
+        hdi=hdi,
+        iui=iui,
+        internet_pop_share=share,
+        vpn_provider=vpn,
+        landing_urls=landing,
+        internal_urls=internal,
+        hostnames=hostnames,
+        gdp_per_capita_kusd=gdp,
+        nri=nri,
+        efi=efi,
+        idi=idi,
+        eu_member=eu,
+    )
+
+
+_NA = Region.NA
+_LAC = Region.LAC
+_ECA = Region.ECA
+_MENA = Region.MENA
+_SSA = Region.SSA
+_SA = Region.SA
+_EAP = Region.EAP
+
+_NAM = Continent.NORTH_AMERICA
+_SAM = Continent.SOUTH_AMERICA
+_EUR = Continent.EUROPE
+_AFR = Continent.AFRICA
+_ASI = Continent.ASIA
+_OCE = Continent.OCEANIA
+
+_NORD = "NordVPN"
+_SURF = "Surfshark"
+_HSS = "Hotspot Shield"
+
+#: All 61 countries of the study (Table 9 + Table 8 + Appendix E features).
+COUNTRIES: dict[str, Country] = {
+    c.code: c
+    for c in [
+        # --- North America -------------------------------------------------
+        _c("US", "United States", _NA, _NAM, "us", ("gov", "mil", "fed.us"),
+           0.915, 0.921, 92, 5.760, _NORD, 1340, 38702, 2343, 76.0, 84, 70, 9.0),
+        _c("CA", "Canada", _NA, _NAM, "ca", ("gc.ca", "canada.ca"),
+           0.851, 0.936, 93, 0.685, _NORD, 216, 6626, 127, 55.0, 82, 73, 9.2),
+        # --- Europe and Central Asia ---------------------------------------
+        _c("RU", "Russia", _ECA, _EUR, "ru", ("gov.ru",),
+           0.816, 0.822, 90, 2.299, _HSS, 106, 5813, 46, 12.0, 57, 53, 6.1),
+        _c("DE", "Germany", _ECA, _EUR, "de", (),
+           0.877, 0.942, 92, 1.459, _NORD, 777, 28841, 451, 48.0, 78, 73, 8.3, eu=True),
+        _c("TR", "Turkey", _ECA, _ASI, "tr", ("gov.tr",),
+           0.798, 0.838, 83, 1.3371, _NORD, 226, 14817, 228, 10.6, 55, 56, 5.4),
+        _c("GB", "United Kingdom", _ECA, _EUR, "uk", ("gov.uk", "mod.uk"),
+           0.914, 0.929, 97, 1.200, _NORD, 373, 9005, 320, 46.0, 73, 69, 8.0),
+        _c("FR", "France", _ECA, _EUR, "fr", ("gouv.fr",),
+           0.883, 0.903, 85, 1.114, _NORD, 669, 9705, 238, 41.0, 74, 62, 8.7, eu=True),
+        _c("IT", "Italy", _ECA, _EUR, "it", ("gov.it", "governo.it"),
+           0.838, 0.895, 85, 1.011, _NORD, 129, 8518, 123, 34.0, 66, 69, 5.8, eu=True),
+        _c("ES", "Spain", _ECA, _EUR, "es", ("gob.es",),
+           0.884, 0.905, 94, 0.802, _NORD, 251, 14602, 175, 30.0, 72, 65, 6.7, eu=True),
+        _c("UA", "Ukraine", _ECA, _EUR, "ua", ("gov.ua",),
+           0.803, 0.773, 79, 0.7545, _NORD, 93, 3928, 98, 4.5, 51, 50, 5.4),
+        _c("PL", "Poland", _ECA, _EUR, "pl", ("gov.pl",),
+           0.844, 0.876, 87, 0.640, _NORD, 594, 29699, 470, 18.0, 53, 67, 7.0, eu=True),
+        _c("KZ", "Kazakhstan", _ECA, _ASI, "kz", ("gov.kz",),
+           0.863, 0.811, 92, 0.304, _SURF, 52, 648, 16, 11.0, 45, 62, 6.7),
+        _c("NL", "Netherlands", _ECA, _EUR, "nl", (),
+           0.938, 0.941, 93, 0.302, _NORD, 1293, 39026, 966, 57.0, 77, 78, 7.7, eu=True),
+        _c("RO", "Romania", _ECA, _EUR, "ro", ("gov.ro",),
+           0.762, 0.821, 86, 0.2738, _NORD, 65, 3427, 49, 15.8, 53, 64, 6.1, eu=True),
+        _c("BE", "Belgium", _ECA, _EUR, "be", ("fgov.be", "belgium.be"),
+           0.827, 0.937, 94, 0.198, _NORD, 994, 217598, 637, 50.0, 70, 67, 8.4, eu=True),
+        _c("SE", "Sweden", _ECA, _EUR, "se", (),
+           0.941, 0.947, 95, 0.183, _NORD, 335, 9110, 285, 56.0, 81, 77, 8.5, eu=True),
+        _c("CZ", "Czechia", _ECA, _EUR, "cz", ("gov.cz",),
+           0.809, 0.889, 85, 0.1719, _NORD, 49, 2153, 46, 27.0, 66, 71, 7.8, eu=True),
+        _c("PT", "Portugal", _ECA, _EUR, "pt", ("gov.pt",),
+           0.827, 0.866, 84, 0.165, _NORD, 295, 15809, 253, 24.5, 70, 65, 6.2, eu=True),
+        _c("HU", "Hungary", _ECA, _EUR, "hu", (),
+           0.783, 0.846, 90, 0.1584, _NORD, 109, 204042, 70, 18.5, 62, 64, 6.0, eu=True),
+        _c("CH", "Switzerland", _ECA, _EUR, "ch", ("admin.ch",),
+           0.875, 0.962, 96, 0.155, _NORD, 83, 3225, 25, 92.0, 83, 83, 9.0),
+        _c("GR", "Greece", _ECA, _EUR, "gr", ("gov.gr",),
+           0.846, 0.887, 83, 0.150, _NORD, 91, 6025, 88, 20.9, 57, 56, 7.3, eu=True),
+        _c("RS", "Serbia", _ECA, _EUR, "rs", ("gov.rs",),
+           0.824, 0.802, 84, 0.125, _NORD, 66, 3295, 67, 9.5, 55, 62, 7.0),
+        _c("DK", "Denmark", _ECA, _EUR, "dk", (),
+           0.972, 0.948, 98, 0.105, _NORD, 110, 2922, 110, 67.0, 85, 78, 9.3, eu=True),
+        _c("NO", "Norway", _ECA, _EUR, "no", (),
+           0.888, 0.961, 99, 0.099, _NORD, 162, 4382, 158, 106.0, 81, 76, 9.2),
+        _c("BG", "Bulgaria", _ECA, _EUR, "bg", ("government.bg",),
+           0.777, 0.795, 79, 0.0886, _NORD, 144, 5798, 75, 13.3, 49, 65, 6.1, eu=True),
+        _c("GE", "Georgia", _ECA, _ASI, "ge", ("gov.ge",),
+           0.750, 0.802, 79, 0.0669, _NORD, 73, 2226, 61, 6.6, 58, 68, 5.9),
+        _c("MD", "Moldova", _ECA, _EUR, "md", ("gov.md",),
+           0.725, 0.767, 60, 0.0566, _NORD, 50, 3464, 24, 5.7, 48, 58, 5.5),
+        _c("BA", "Bosnia and Herzegovina", _ECA, _EUR, "ba", ("gov.ba",),
+           0.626, 0.780, 79, 0.0522, _NORD, 59, 2929, 58, 7.3, 45, 60, 4.6),
+        _c("AL", "Albania", _ECA, _EUR, "al", ("gov.al",),
+           0.741, 0.796, 83, 0.0404, _NORD, 80, 5536, 79, 6.8, 39, 65, 5.5),
+        _c("LV", "Latvia", _ECA, _EUR, "lv", ("gov.lv",),
+           0.860, 0.863, 91, 0.031, _NORD, 291, 13263, 239, 21.8, 67, 72, 6.2, eu=True),
+        _c("EE", "Estonia", _ECA, _EUR, "ee", (),
+           0.939, 0.890, 91, 0.024, _NORD, 118, 9871, 119, 28.0, 64, 78, 7.4, eu=True),
+        # --- East Asia and Pacific ------------------------------------------
+        _c("CN", "China", _EAP, _ASI, "cn", ("gov.cn",),
+           0.812, 0.768, 76, 18.6404, _HSS, 193, 6195, 190, 12.7, 63, 48, 6.1),
+        _c("ID", "Indonesia", _EAP, _ASI, "id", ("go.id",),
+           0.716, 0.705, 66, 3.9163, _NORD, 76, 3690, 79, 4.8, 44, 63, 6.2),
+        _c("JP", "Japan", _EAP, _ASI, "jp", ("go.jp",),
+           0.900, 0.925, 83, 2.1878, _NORD, 93, 3635, 75, 33.8, 75, 69, 8.8),
+        _c("VN", "Vietnam", _EAP, _ASI, "vn", ("gov.vn",),
+           0.679, 0.703, 79, 1.5661, _NORD, 56, 1642, 54, 4.2, 52, 61, 6.5),
+        _c("TH", "Thailand", _EAP, _ASI, "th", ("go.th",),
+           0.766, 0.800, 88, 1.1416, _NORD, 81, 3267, 82, 7.6, 49, 63, 7.1),
+        _c("KR", "South Korea", _EAP, _ASI, "kr", ("go.kr",),
+           0.953, 0.925, 97, 0.9184, _NORD, 0, 0, 0, 32.4, 83, 73, 8.3),
+        _c("MY", "Malaysia", _EAP, _ASI, "my", ("gov.my",),
+           0.774, 0.803, 97, 0.5715, _NORD, 261, 20206, 247, 11.9, 54, 67, 6.0),
+        _c("AU", "Australia", _EAP, _OCE, "au", ("gov.au",),
+           0.941, 0.951, 96, 0.4314, _NORD, 708, 6883, 440, 64.0, 84, 74, 9.3),
+        _c("TW", "Taiwan", _EAP, _ASI, "tw", ("gov.tw",),
+           None, None, None, 0.4175, _NORD, 58, 2996, 54, 32.7, 76, 80, 8.8),
+        _c("HK", "Hong Kong", _EAP, _ASI, "hk", ("gov.hk",),
+           None, 0.952, 96, 0.1234, _NORD, 108, 6857, 92, 49.8, 74, 83, 7.8),
+        _c("SG", "Singapore", _EAP, _ASI, "sg", ("gov.sg",),
+           0.913, 0.939, 96, 0.1005, _NORD, 87, 4368, 90, 82.8, 84, 83, 9.3),
+        _c("NZ", "New Zealand", _EAP, _OCE, "nz", ("govt.nz",),
+           0.943, 0.937, 96, 0.0841, _NORD, 251, 7358, 233, 48.0, 71, 78, 9.3),
+        # --- South Asia ------------------------------------------------------
+        _c("IN", "India", _SA, _ASI, "in", ("gov.in", "nic.in"),
+           0.588, 0.633, 46, 15.376, _NORD, 207, 13612, 213, 2.4, 45, 52, 4.7),
+        _c("BD", "Bangladesh", _SA, _ASI, "bd", ("gov.bd",),
+           0.563, 0.661, 39, 2.3824, _SURF, 333, 15757, 329, 2.5, 39, 55, 4.4),
+        _c("PK", "Pakistan", _SA, _ASI, "pk", ("gov.pk",),
+           0.424, 0.544, 21, 2.1393, _SURF, 118, 3133, 108, 1.5, 34, 49, 2.6),
+        # --- Middle East and North Africa ------------------------------------
+        _c("EG", "Egypt", _MENA, _AFR, "eg", ("gov.eg",),
+           0.590, 0.731, 72, 1.0096, _SURF, 69, 4683, 66, 3.7, 52, 49, 6.1),
+        _c("DZ", "Algeria", _MENA, _AFR, "dz", ("gov.dz",),
+           0.561, 0.745, 71, 0.698, _SURF, 202, 2231, 184, 4.3, 40, 44, 4.0),
+        _c("MA", "Morocco", _MENA, _AFR, "ma", ("gouv.ma", "gov.ma"),
+           0.592, 0.683, 88, 0.4719, _SURF, 144, 8440, 137, 3.7, 47, 59, 5.5),
+        _c("AE", "United Arab Emirates", _MENA, _ASI, "ae", ("gov.ae",),
+           0.901, 0.911, 100, 0.2246, _NORD, 49, 5277, 50, 53.0, 69, 71, 7.6),
+        _c("IL", "Israel", _MENA, _ASI, "il", ("gov.il",),
+           0.889, 0.919, 90, 0.1474, _NORD, 101, 2994, 98, 55.0, 62, 68, 7.6),
+        # --- Sub-Saharan Africa ----------------------------------------------
+        _c("NG", "Nigeria", _SSA, _AFR, "ng", ("gov.ng",),
+           0.453, 0.535, 55, 2.846, _SURF, 189, 11332, 187, 2.2, 31, 53, 4.5),
+        _c("ZA", "South Africa", _SSA, _AFR, "za", ("gov.za",),
+           0.736, 0.713, 72, 0.6371, _NORD, 189, 11332, 187, 6.8, 51, 55, 5.1),
+        # --- Latin America and the Caribbean ---------------------------------
+        _c("BR", "Brazil", _LAC, _SAM, "br", ("gov.br",),
+           0.791, 0.754, 81, 3.285, _NORD, 272, 15711, 212, 8.9, 57, 53, 6.6),
+        _c("MX", "Mexico", _LAC, _NAM, "mx", ("gob.mx",),
+           0.747, 0.758, 76, 2.036, _NORD, 317, 9418, 140, 11.5, 54, 63, 6.6),
+        _c("AR", "Argentina", _LAC, _SAM, "ar", ("gob.ar", "gov.ar"),
+           0.820, 0.842, 88, 0.775, _NORD, 201, 6238, 100, 13.6, 53, 50, 7.8),
+        _c("CL", "Chile", _LAC, _SAM, "cl", ("gob.cl",),
+           0.838, 0.855, 90, 0.347, _NORD, 448, 24571, 434, 15.4, 66, 71, 6.3),
+        _c("BO", "Bolivia", _LAC, _SAM, "bo", ("gob.bo",),
+           0.617, 0.692, 66, 0.164, _SURF, 194, 12842, 189, 3.6, 38, 43, 4.3),
+        _c("PY", "Paraguay", _LAC, _SAM, "py", ("gov.py",),
+           0.633, 0.717, 76, 0.1139, _SURF, 146, 6744, 133, 6.2, 35, 62, 6.4),
+        _c("CR", "Costa Rica", _LAC, _NAM, "cr", ("go.cr",),
+           0.766, 0.809, 83, 0.082, _NORD, 196, 12231, 176, 13.2, 54, 64, 6.1),
+        _c("UY", "Uruguay", _LAC, _SAM, "uy", ("gub.uy",),
+           0.839, 0.809, 90, 0.0602, _SURF, 67, 4322, 27, 20.8, 58, 70, 7.8),
+    ]
+}
+
+
+def get_country(code: str) -> Country:
+    """Return the :class:`Country` for an ISO alpha-2 ``code``.
+
+    Raises :class:`KeyError` for countries outside the study sample.
+    """
+    return COUNTRIES[code.upper()]
+
+
+def iter_countries() -> Iterator[Country]:
+    """Iterate over the sample in a stable (insertion) order."""
+    return iter(COUNTRIES.values())
+
+
+def countries_in_region(region: Region) -> list[Country]:
+    """All sample countries belonging to a World Bank ``region``."""
+    return [c for c in COUNTRIES.values() if c.region is region]
+
+
+def eu_members() -> list[Country]:
+    """The EU member states within the sample (used for GDPR analysis)."""
+    return [c for c in COUNTRIES.values() if c.eu_member]
+
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "WORLD_INTERNET_USERS_M",
+    "get_country",
+    "iter_countries",
+    "countries_in_region",
+    "eu_members",
+]

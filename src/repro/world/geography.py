@@ -1,0 +1,73 @@
+"""Geographic primitives: great-circle distances and road thresholds.
+
+Section 3.5 of the paper derives a *per-country* latency threshold from
+the intercity road distance between the two furthest cities of the
+country.  We approximate road distance as great-circle distance times a
+road-circuity factor, a standard approximation in Internet geolocation
+work (iGDB uses road infrastructure data directly).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.world.cities import City, cities_of
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Road networks are not straight lines; empirically intercity road distance
+#: is roughly 1.2-1.4x the great-circle distance.
+ROAD_CIRCUITY_FACTOR = 1.3
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def city_distance_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities."""
+    return haversine_km(a.lat, a.lon, b.lat, b.lon)
+
+
+def country_distance_km(code_a: str, code_b: str) -> float:
+    """Distance between the anchor cities of two countries."""
+    a = cities_of(code_a)[0]
+    b = cities_of(code_b)[0]
+    return city_distance_km(a, b)
+
+
+def country_span_km(code: str) -> float:
+    """Great-circle distance between the two furthest cities of a country.
+
+    Countries with a single listed city (city-states such as Singapore or
+    Hong Kong) are assigned a nominal 50 km span.
+    """
+    cities = cities_of(code)
+    if len(cities) < 2:
+        return 50.0
+    return max(
+        city_distance_km(a, b)
+        for i, a in enumerate(cities)
+        for b in cities[i + 1:]
+    )
+
+
+def road_span_km(code: str) -> float:
+    """Approximate intercity road distance between the two furthest cities."""
+    return country_span_km(code) * ROAD_CIRCUITY_FACTOR
+
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "ROAD_CIRCUITY_FACTOR",
+    "haversine_km",
+    "city_distance_km",
+    "country_distance_km",
+    "country_span_km",
+    "road_span_km",
+]

@@ -1,0 +1,60 @@
+"""World Bank regional division and physical continents.
+
+The paper slices the world using the World Bank's seven-region division
+(Section 4.1) for all regional analyses, while the definition of a
+*Global* third-party provider ("networks that serve governments across
+multiple continents", Section 5.1) relies on physical continents.  Both
+taxonomies are defined here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Region(enum.Enum):
+    """World Bank region (Section 4.1 of the paper)."""
+
+    NA = "North America"
+    LAC = "Latin America and the Caribbean"
+    ECA = "Europe and Central Asia"
+    MENA = "Middle East and North Africa"
+    SSA = "Sub-Saharan Africa"
+    SA = "South Asia"
+    EAP = "East Asia and Pacific"
+
+    @property
+    def code(self) -> str:
+        """Short region code used in the paper's figures (e.g. ``"ECA"``)."""
+        return self.name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class Continent(enum.Enum):
+    """Physical continent, used to distinguish Regional from Global providers."""
+
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    EUROPE = "Europe"
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    OCEANIA = "Oceania"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Region ordering used when rendering figures, matching the paper's plots.
+REGION_ORDER = [
+    Region.SSA,
+    Region.ECA,
+    Region.NA,
+    Region.LAC,
+    Region.MENA,
+    Region.EAP,
+    Region.SA,
+]
+
+__all__ = ["Region", "Continent", "REGION_ORDER"]

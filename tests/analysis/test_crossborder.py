@@ -1,0 +1,95 @@
+"""Tests for cross-border dependency analyses (Section 6.3)."""
+
+import pytest
+
+from repro.analysis.crossborder import (
+    EU_MEMBER_CODES,
+    bilateral_share,
+    flows,
+    foreign_share_by_destination,
+    gdpr_compliance,
+    region_of,
+    regional_affinity,
+    same_region_share,
+)
+from repro.world.regions import Region
+
+
+def test_flows_only_contain_foreign_pairs(dataset):
+    for flow in flows(dataset):
+        assert flow.source != flow.destination
+        assert flow.url_count > 0
+        assert flow.byte_count > 0
+
+
+def test_flows_by_registration_basis(dataset):
+    registration_flows = flows(dataset, basis="registration")
+    assert registration_flows
+    # US-registered organizations dominate foreign registration (S6.3).
+    by_dest = {}
+    for flow in registration_flows:
+        by_dest[flow.destination] = by_dest.get(flow.destination, 0) + flow.url_count
+    assert max(by_dest, key=by_dest.get) == "US"
+
+
+def test_region_of_extras():
+    assert region_of("NC") is Region.EAP
+    assert region_of("AT") is Region.ECA
+    with pytest.raises(KeyError):
+        region_of("ZZ")
+
+
+def test_same_region_share_shape(dataset):
+    shares = same_region_share(dataset)
+    # ECA and EAP keep most cross-border dependencies in-region;
+    # LAC, MENA, SA and SSA do not (Table 5).
+    assert shares[Region.ECA] > 0.75
+    assert shares[Region.EAP] > 0.6
+    assert shares[Region.LAC] < 0.15
+    assert shares.get(Region.MENA, 0.0) < 0.1
+    assert shares.get(Region.SA, 0.0) < 0.15
+    assert shares.get(Region.SSA, 0.0) < 0.15
+
+
+def test_regional_affinity_hosts(dataset):
+    affinity = regional_affinity(dataset)
+    # Germany is the main in-region host for ECA (36% in the paper).
+    eca_hosts = affinity[Region.ECA]
+    assert max(eca_hosts, key=eca_hosts.get) == "DE"
+    for hosts in affinity.values():
+        assert sum(hosts.values()) == pytest.approx(1.0)
+
+
+def test_gdpr_compliance_high(dataset):
+    # Paper: 98.3% of EU-government URLs served within the EU.
+    assert gdpr_compliance(dataset) > 0.93
+
+
+def test_eu_membership_set():
+    assert "DE" in EU_MEMBER_CODES
+    assert "IE" in EU_MEMBER_CODES  # hosting-only territory, EU member
+    assert "GB" not in EU_MEMBER_CODES
+    assert "NC" not in EU_MEMBER_CODES
+
+
+def test_bilateral_shares_match_paper(dataset):
+    assert bilateral_share(dataset, "MX", "US") == pytest.approx(0.79, abs=0.10)
+    assert bilateral_share(dataset, "NZ", "AU") == pytest.approx(0.40, abs=0.15)
+    assert bilateral_share(dataset, "CN", "JP") == pytest.approx(0.26, abs=0.17)
+    assert bilateral_share(dataset, "FR", "NC") == pytest.approx(0.18, abs=0.08)
+    # Brazil barely relies on the US (1.78% in the paper).
+    assert bilateral_share(dataset, "BR", "US") < 0.08
+
+
+def test_foreign_destinations_led_by_us_and_western_europe(dataset):
+    shares = foreign_share_by_destination(dataset)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    west = shares.get("US", 0) + shares.get("DE", 0) + shares.get("FR", 0) + \
+        shares.get("GB", 0) + shares.get("NL", 0) + shares.get("IE", 0)
+    # Paper: North America + Western Europe host 57% of cross-border URLs.
+    assert west > 0.5
+
+
+def test_new_caledonia_appears_as_destination(dataset):
+    destinations = {flow.destination for flow in flows(dataset)}
+    assert "NC" in destinations

@@ -1,0 +1,79 @@
+"""Tests for the outage-resilience and longitudinal extensions."""
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.analysis.longitudinal import compare_snapshots, trend_summary
+from repro.analysis.resilience import (
+    outage_impact,
+    single_points_of_failure,
+    worst_global_outage,
+)
+
+
+def test_outage_impact_bounds(dataset):
+    # Cloudflare is present in many countries; its outage hurts somewhere.
+    impacts = outage_impact(dataset, 13335)
+    assert impacts
+    for impact in impacts.values():
+        assert 0 < impact.url_share_lost <= 1
+        assert 0 <= impact.byte_share_lost <= 1
+
+
+def test_outage_of_unknown_asn_is_noop(dataset):
+    assert outage_impact(dataset, 999_999_999) == {}
+
+
+def test_single_points_of_failure_include_concentrated_countries(dataset):
+    spofs = single_points_of_failure(dataset)
+    # Uruguay serves nearly everything from one state network.
+    assert "UY" in spofs
+    asn, share = spofs["UY"]
+    assert share > 0.5
+    # Diversified Global-dominant countries mostly avoid the list.
+    assert len(spofs) < len(dataset.countries)
+
+
+def test_worst_global_outage_is_a_major_provider(dataset):
+    asn, affected, mean_loss = worst_global_outage(dataset)
+    assert affected >= 3
+    assert 0 < mean_loss <= 1
+    assert asn != 0
+
+
+def _measure(drift):
+    world = SyntheticWorld.generate(WorldConfig(
+        seed=21, scale=0.04, countries=("BR", "ES", "ID", "EG"),
+        include_topsites=False, third_party_drift=drift,
+    ))
+    return Pipeline(world).run(["BR", "ES", "ID", "EG"])
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    return _measure(0.0), _measure(0.15)
+
+
+def test_drift_increases_third_party_dependency(snapshots):
+    before, after = snapshots
+    deltas = compare_snapshots(before, after)
+    assert set(deltas) == {"BR", "ES", "ID", "EG"}
+    summary = trend_summary(deltas)
+    assert summary["mean_delta"] > 0
+    assert summary["share_increasing"] >= 0.75
+
+
+def test_trend_summary_requires_overlap():
+    with pytest.raises(ValueError):
+        trend_summary({})
+
+
+def test_drift_profile_validation():
+    from repro.world.profiles import drift_profile, get_profile
+
+    profile = get_profile("BR")
+    assert drift_profile(profile, 0.0) is profile
+    drifted = drift_profile(profile, 0.2)
+    assert sum(drifted.url_mix.values()) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        drift_profile(profile, 0.9)

@@ -1,0 +1,73 @@
+"""Tests for the governments-vs-topsites comparison (Appendix D)."""
+
+import pytest
+
+from repro.analysis.topsites import (
+    TopsiteAnalyzer,
+    analyze_topsites,
+    government_subset_breakdown,
+    government_subset_location,
+)
+from repro.websim.topsites import COMPARISON_COUNTRIES, TopsiteHosting
+
+
+@pytest.fixture(scope="module")
+def report(world, pipeline, dataset):
+    return analyze_topsites(world, dataset, geolocator=pipeline.geolocator)
+
+
+def test_report_covers_comparison_countries(report, world):
+    measured = {record.country for record in report.records}
+    assert measured == set(COMPARISON_COUNTRIES)
+    expected_sites = sum(len(v) for v in world.topsites.values())
+    assert len(report.records) == expected_sites
+
+
+def test_topsites_prefer_global_providers(report):
+    fractions = report.hosting_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    # Paper: 78% of topsite URLs on Global providers, 18% self-hosted.
+    assert fractions[TopsiteHosting.GLOBAL] == pytest.approx(0.78, abs=0.12)
+    assert fractions[TopsiteHosting.SELF_HOSTING] == pytest.approx(0.18, abs=0.08)
+    assert fractions[TopsiteHosting.GLOBAL] > fractions[TopsiteHosting.SELF_HOSTING]
+
+
+def test_governments_prefer_self_hosting_relative_to_topsites(report, dataset):
+    gov = government_subset_breakdown(dataset)
+    top = report.hosting_fractions()
+    assert gov["urls"][TopsiteHosting.SELF_HOSTING] > top[TopsiteHosting.SELF_HOSTING]
+    assert top[TopsiteHosting.GLOBAL] > gov["urls"][TopsiteHosting.GLOBAL]
+
+
+def test_location_contrast_figure7(report, dataset):
+    gov = government_subset_location(dataset)
+    top_location = report.location_split()
+    # Governments host domestically far more often than topsites.
+    assert gov["geolocation"].domestic > top_location.domestic + 0.2
+    top_registration = report.registration_location_split()
+    assert gov["whois"].domestic > top_registration.domestic + 0.2
+    # Topsites: roughly half the URLs are served from abroad (paper: 51%).
+    assert 0.3 < top_location.domestic < 0.7
+
+
+def test_self_hosting_heuristic_matches_truth(report, world):
+    """The CNAME/SAN heuristic recovers the ground-truth hosting labels."""
+    truth_by_host = {
+        t.hostname: t.truth_hosting
+        for sites in world.topsites.values()
+        for t in sites
+    }
+    correct = total = 0
+    for record in report.records:
+        total += 1
+        truth = truth_by_host[record.hostname]
+        if (record.hosting is TopsiteHosting.SELF_HOSTING) == (
+            truth is TopsiteHosting.SELF_HOSTING
+        ):
+            correct += 1
+    assert correct / total > 0.95
+
+
+def test_byte_fractions_also_global_heavy(report):
+    fractions = report.hosting_fractions(by_bytes=True)
+    assert fractions[TopsiteHosting.GLOBAL] > 0.5

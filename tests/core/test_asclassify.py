@@ -1,0 +1,140 @@
+"""Tests for government-ownership classification of ASes."""
+
+import pytest
+
+from repro.core.asclassify import Evidence, GovernmentASClassifier
+from repro.measure.peeringdb import PeeringDb, PeeringDbRecord
+from repro.netsim.asn import ASKind, AutonomousSystem, PoP
+from repro.netsim.registry import IpRegistry
+from repro.netsim.whois import WhoisService
+
+_POP = (PoP("BR", "Brasilia", -15.8, -47.9),)
+
+
+def _make(asn, org, kind=ASKind.GOVERNMENT, website=None, contact=None):
+    return AutonomousSystem(
+        asn=asn, name=f"AS-{asn}", organization=org,
+        registration_country="BR", kind=kind, pops=_POP,
+        website=website, contact_domain=contact,
+    )
+
+
+@pytest.fixture
+def setup():
+    registry = IpRegistry()
+    peeringdb = PeeringDb()
+    websearch = {}
+    whois = WhoisService(registry)
+    classifier = GovernmentASClassifier(peeringdb, whois, websearch)
+    return registry, peeringdb, websearch, classifier
+
+
+def test_peeringdb_text_evidence(setup):
+    registry, peeringdb, _, classifier = setup
+    registry.register_as(_make(100, "Opaque Org"))
+    peeringdb.add(PeeringDbRecord(
+        asn=100, name="HHS", org="U.S. Dept. of Health and Human Services",
+    ))
+    verdict = classifier.classify(100)
+    assert verdict.is_government
+    assert verdict.evidence is Evidence.PEERINGDB_TEXT
+
+
+def test_whois_org_evidence(setup):
+    registry, _, _, classifier = setup
+    registry.register_as(_make(101, "Ministerio de Salud - Brazil"))
+    verdict = classifier.classify(101)
+    assert verdict.is_government
+    assert verdict.evidence is Evidence.WHOIS_ORG
+
+
+def test_whois_email_evidence(setup):
+    registry, _, _, classifier = setup
+    registry.register_as(_make(102, "Opaque Org", contact="gov.br"))
+    verdict = classifier.classify(102)
+    assert verdict.is_government
+    assert verdict.evidence is Evidence.WHOIS_EMAIL
+
+
+def test_websearch_evidence_for_unmarked_soe(setup):
+    registry, _, websearch, classifier = setup
+    registry.register_as(_make(
+        103, "Petro Fiscal S.A.", kind=ASKind.SOE,
+        website="https://www.petro-fiscal.com",
+    ))
+    websearch["https://www.petro-fiscal.com"] = (
+        "Petro Fiscal S.A. is a state-owned enterprise of Brazil."
+    )
+    verdict = classifier.classify(103)
+    assert verdict.is_government
+    assert verdict.evidence is Evidence.WEB_SEARCH
+
+
+def test_peeringdb_website_under_gov_domain(setup):
+    registry, peeringdb, _, classifier = setup
+    registry.register_as(_make(104, "ORG-104"))
+    peeringdb.add(PeeringDbRecord(
+        asn=104, name="NET-104", org="ORG-104",
+        website="https://www.interior.gov.br",
+    ))
+    verdict = classifier.classify(104)
+    assert verdict.is_government
+    assert verdict.evidence is Evidence.PEERINGDB_WEBSITE
+
+
+def test_commercial_providers_not_flagged(setup):
+    registry, peeringdb, websearch, classifier = setup
+    registry.register_as(_make(
+        105, "Rapidhost Hosting Brazil", kind=ASKind.LOCAL_HOSTING,
+        website="https://www.rapidhost-br.com",
+    ))
+    websearch["https://www.rapidhost-br.com"] = (
+        "Rapidhost Hosting Brazil is a commercial web host."
+    )
+    peeringdb.add(PeeringDbRecord(
+        asn=105, name="RAPIDHOST-BR", org="Rapidhost Hosting Brazil",
+        website="https://www.rapidhost-br.com",
+    ))
+    assert not classifier.classify(105).is_government
+
+
+def test_national_keyword_guarded_for_commercial_names(setup):
+    registry, _, _, classifier = setup
+    registry.register_as(_make(
+        106, "National Cloud Colocation Inc", kind=ASKind.LOCAL_HOSTING,
+    ))
+    assert not classifier.classify(106).is_government
+
+
+def test_international_does_not_match_nation(setup):
+    registry, _, _, classifier = setup
+    registry.register_as(_make(
+        107, "International Transit Co", kind=ASKind.ISP,
+    ))
+    assert not classifier.classify(107).is_government
+
+
+def test_results_are_memoized(setup):
+    registry, _, _, classifier = setup
+    registry.register_as(_make(108, "Ministry of Finance of Brazil"))
+    first = classifier.classify(108)
+    assert classifier.classify(108) is first
+
+
+def test_world_classification_accuracy(world, pipeline):
+    """Over the full synthetic world, the cascade recovers ownership with
+    high precision/recall against ground-truth AS kinds."""
+    classifier = pipeline.ownership
+    true_positive = false_positive = false_negative = 0
+    for autonomous_system in world.registry.iter_ases():
+        is_gov_truth = autonomous_system.kind.is_government_operated
+        flagged = classifier.is_government(autonomous_system.asn)
+        if flagged and is_gov_truth:
+            true_positive += 1
+        elif flagged and not is_gov_truth:
+            false_positive += 1
+        elif not flagged and is_gov_truth:
+            false_negative += 1
+    assert false_positive == 0
+    recall = true_positive / (true_positive + false_negative)
+    assert recall > 0.9

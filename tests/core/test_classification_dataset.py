@@ -1,0 +1,123 @@
+"""Tests for category classification and dataset aggregation."""
+
+import pytest
+
+from repro.categories import HostingCategory
+from repro.core.classification import CategoryClassifier
+from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
+from repro.core.geolocation import ValidationMethod, ValidationStats
+from repro.core.urlfilter import FilterVia
+
+
+class _FakeOwnership:
+    def __init__(self, gov_asns):
+        self._gov = set(gov_asns)
+
+    def is_government(self, asn):
+        return asn in self._gov
+
+
+def test_category_precedence():
+    classifier = CategoryClassifier(_FakeOwnership({900}))
+    classifier.observe_all([
+        (13335, "BR"), (13335, "DE"),   # two continents -> global
+        (700, "BR"),                    # only South America
+        (900, "BR"),                    # government network
+    ])
+    assert classifier.categorize(900, "BR", "BR") is HostingCategory.GOVT_SOE
+    assert classifier.categorize(13335, "US", "BR") is HostingCategory.P3_GLOBAL
+    assert classifier.categorize(700, "BR", "BR") is HostingCategory.P3_LOCAL
+    assert classifier.categorize(700, "CO", "BR") is HostingCategory.P3_REGIONAL
+
+
+def test_government_outranks_global_footprint():
+    classifier = CategoryClassifier(_FakeOwnership({900}))
+    classifier.observe_all([(900, "BR"), (900, "DE")])
+    assert classifier.categorize(900, "NC", "FR") is HostingCategory.GOVT_SOE
+    assert classifier.global_provider_asns() == []
+
+
+def test_footprint_ignores_unknown_countries():
+    classifier = CategoryClassifier(_FakeOwnership(set()))
+    classifier.observe(13335, "ZZ")
+    assert classifier.footprint(13335) == frozenset()
+
+
+def _record(url="https://x.gov.br/", country="BR", size=100,
+            category=HostingCategory.GOVT_SOE, server="BR", reg="BR",
+            asn=900, anycast=False, gov=True, hostname="x.gov.br", address=1):
+    return UrlRecord(
+        url=url, hostname=hostname, country=country, size_bytes=size,
+        via=FilterVia.TLD, depth=0, address=address, asn=asn,
+        organization="Org", registered_country=reg, gov_operated=gov,
+        category=category, server_country=server, anycast=anycast,
+        validation=ValidationMethod.ACTIVE_PROBING,
+    )
+
+
+def test_urlrecord_views():
+    record = _record(server="US", reg="BR")
+    assert record.registration_domestic
+    assert record.server_domestic is False
+    excluded = _record(server=None)
+    assert excluded.excluded
+    assert excluded.server_domestic is None
+
+
+def test_country_dataset_fractions():
+    records = [
+        _record(url=f"https://x.gov.br/{i}", size=100) for i in range(6)
+    ] + [
+        _record(url=f"https://y.com.br/{i}", size=300,
+                category=HostingCategory.P3_GLOBAL, gov=False, asn=13335)
+        for i in range(4)
+    ]
+    dataset = CountryDataset(
+        country="BR", landing_count=2, records=records,
+        discarded_url_count=1, unresolved_hostnames=[], depth_histogram={0: 10},
+    )
+    urls = dataset.category_url_fractions()
+    assert urls[HostingCategory.GOVT_SOE] == pytest.approx(0.6)
+    bytes_mix = dataset.category_byte_fractions()
+    assert bytes_mix[HostingCategory.P3_GLOBAL] == pytest.approx(
+        1200 / 1800
+    )
+    assert dataset.internal_count == 8
+    assert dataset.total_bytes == 1800
+
+
+def test_dataset_summary_counts():
+    records_br = [
+        _record(url="https://x.gov.br/a"),
+        _record(url="https://x.gov.br/b", server=None),
+    ]
+    records_de = [
+        _record(url="https://y.de/a", country="DE", server="DE", reg="DE",
+                asn=13335, category=HostingCategory.P3_GLOBAL, gov=False,
+                anycast=True, hostname="y.de", address=2),
+    ]
+    dataset = GovernmentHostingDataset(
+        countries={
+            "BR": CountryDataset("BR", 1, records_br, 0, [], {}),
+            "DE": CountryDataset("DE", 1, records_de, 0, [], {}),
+        },
+        validation=ValidationStats(),
+    )
+    summary = dataset.summarize()
+    assert summary.total_unique_urls == 3
+    assert summary.landing_urls == 2
+    assert summary.internal_urls == 1
+    assert summary.unique_hostnames == 2
+    assert summary.ases == 2
+    assert summary.government_ases == 1
+    assert summary.anycast_addresses == 1
+    assert summary.countries_with_servers == 2
+    included = list(dataset.iter_included())
+    assert len(included) == 2
+    stats = dataset.per_country_stats()
+    assert stats["BR"]["landing_urls"] == 1
+
+
+def test_validation_stats_table4_empty():
+    table = ValidationStats().table4()
+    assert table["unicast"] == {"AP": 0.0, "MG": 0.0, "UR": 0.0}

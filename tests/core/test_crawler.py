@@ -1,0 +1,84 @@
+"""Tests for the breadth-first crawler."""
+
+import pytest
+
+from repro.core.crawler import Crawler
+from repro.websim.browser import Browser
+
+
+def _crawl(world, code, max_depth=7):
+    crawler = Crawler(Browser(world.web), max_depth=max_depth)
+    seeds = list(world.truth.directories[code])
+    vantage = world.vpn.vantage_for(code)
+    return crawler.crawl(seeds, vantage)
+
+
+def _is_government_url(url):
+    return "contractor" not in url and "analytics" not in url
+
+
+def test_crawl_collects_every_site_url(world):
+    result = _crawl(world, "BR")
+    expected = set()
+    for truth in world.truth.hosts_of("BR"):
+        site = world.web.site_of(truth.hostname)
+        if site is not None and truth.country == "BR":
+            expected.update(u for u in site.unique_urls() if _is_government_url(u))
+    gov_urls = {e.url for e in result.archive if _is_government_url(e.url)}
+    assert gov_urls <= expected
+    # The overwhelming majority of the generated mass is discovered.
+    assert len(gov_urls) >= 0.95 * len(expected)
+
+
+def test_depth_zero_dominates(world):
+    result = _crawl(world, "US")
+    histogram = result.depth_histogram()
+    total = sum(histogram.values())
+    assert histogram[0] / total > 0.7
+    assert max(histogram) <= 7
+
+
+def test_depth_limit_respected(world):
+    shallow = _crawl(world, "US", max_depth=1)
+    assert max(shallow.depth_histogram()) <= 1
+    deep = _crawl(world, "US", max_depth=7)
+    assert len(deep.archive) >= len(shallow.archive)
+
+
+def test_crawler_handles_missing_seeds(world):
+    crawler = Crawler(Browser(world.web))
+    vantage = world.vpn.vantage_for("BR")
+    result = crawler.crawl(["https://does-not-exist.gov.br/"], vantage)
+    assert result.failed_urls == ["https://does-not-exist.gov.br/"]
+    assert len(result.archive) == 0
+
+
+def test_crawler_rejects_negative_depth(world):
+    with pytest.raises(ValueError):
+        Crawler(Browser(world.web), max_depth=-1)
+
+
+def test_geo_restricted_sites_fail_from_foreign_vantage(world):
+    restricted = [
+        truth.hostname
+        for truth in world.truth.hosts.values()
+        if (site := world.web.site_of(truth.hostname)) is not None
+        and site.geo_restricted
+    ]
+    if not restricted:
+        pytest.skip("no geo-restricted site generated at this seed")
+    hostname = restricted[0]
+    site = world.web.site_of(hostname)
+    foreign = "US" if site.country != "US" else "BR"
+    crawler = Crawler(Browser(world.web))
+    result = crawler.crawl([site.landing_url], world.vpn.vantage_for(foreign))
+    assert site.landing_url in result.failed_urls
+    # From the domestic vantage the same site crawls fine (footnote 1).
+    domestic = crawler.crawl([site.landing_url], world.vpn.vantage_for(site.country))
+    assert site.landing_url not in domestic.failed_urls
+
+
+def test_page_loads_counted(world):
+    result = _crawl(world, "UY")
+    assert result.page_loads > 0
+    assert result.page_loads <= len(result.archive)

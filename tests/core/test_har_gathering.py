@@ -1,0 +1,55 @@
+"""Tests for HAR archives and directory compilation."""
+
+from repro.core.gathering import GovernmentDirectory, compile_directory
+from repro.har import HarArchive, HarEntry
+
+
+def _entry(url, host="www.gov.br", size=100):
+    return HarEntry(url=url, hostname=host, size_bytes=size)
+
+
+def test_archive_deduplicates_by_url():
+    archive = HarArchive(country="BR")
+    assert archive.add(_entry("https://a/1"))
+    assert not archive.add(_entry("https://a/1", size=999))
+    assert len(archive) == 1
+    assert archive.get("https://a/1").size_bytes == 100
+
+
+def test_archive_extend_counts_new():
+    archive = HarArchive(country="BR")
+    added = archive.extend([_entry("https://a/1"), _entry("https://a/1"),
+                            _entry("https://a/2")])
+    assert added == 2
+
+
+def test_archive_aggregations():
+    archive = HarArchive(country="BR")
+    archive.add(_entry("https://a/1", host="x.gov.br", size=10))
+    archive.add(_entry("https://a/2", host="y.gov.br", size=20))
+    assert archive.hostnames() == {"x.gov.br", "y.gov.br"}
+    assert archive.total_bytes() == 30
+    assert "https://a/1" in archive
+    assert {e.url for e in archive} == {"https://a/1", "https://a/2"}
+
+
+def test_directory_hostnames_derived_from_urls():
+    directory = GovernmentDirectory(
+        country="BR",
+        landing_urls=("https://www.gov.br/", "https://www.gov.br/abin",
+                      "https://tax.gov.br/"),
+    )
+    assert directory.hostnames == {"www.gov.br", "tax.gov.br"}
+    assert directory.landing_count == 3
+    assert len(directory) == 3
+
+
+def test_compile_directory_from_world(world):
+    directory = compile_directory(world, "br")
+    assert directory.country == "BR"
+    assert directory.landing_count == len(world.truth.directories["BR"])
+    assert directory.landing_count > 0
+
+
+def test_compile_directory_for_korea_is_empty(world):
+    assert compile_directory(world, "KR").landing_count == 0

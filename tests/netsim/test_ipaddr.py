@@ -1,0 +1,78 @@
+"""Tests for IPv4 helpers and prefix allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.ipaddr import Prefix, PrefixPool, format_ip, parse_ip
+
+
+def test_format_known_address():
+    assert format_ip(0x01020304) == "1.2.3.4"
+    assert format_ip(0) == "0.0.0.0"
+    assert format_ip(0xFFFFFFFF) == "255.255.255.255"
+
+
+def test_parse_known_address():
+    assert parse_ip("1.2.3.4") == 0x01020304
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_ip(bad)
+
+
+def test_format_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        format_ip(-1)
+    with pytest.raises(ValueError):
+        format_ip(1 << 32)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+def test_prefix_contains():
+    prefix = Prefix(parse_ip("10.1.2.0"), 24)
+    assert parse_ip("10.1.2.7") in prefix
+    assert parse_ip("10.1.3.7") not in prefix
+
+
+def test_prefix_rejects_host_bits():
+    with pytest.raises(ValueError):
+        Prefix(parse_ip("10.1.2.1"), 24)
+
+
+def test_prefix_rejects_bad_length():
+    with pytest.raises(ValueError):
+        Prefix(0, 33)
+
+
+def test_prefix_address_offsets():
+    prefix = Prefix(parse_ip("10.1.2.0"), 24)
+    assert prefix.address(1) == parse_ip("10.1.2.1")
+    with pytest.raises(ValueError):
+        prefix.address(256)
+
+
+def test_prefix_size_and_str():
+    prefix = Prefix(parse_ip("10.0.0.0"), 22)
+    assert prefix.size == 1024
+    assert str(prefix) == "10.0.0.0/22"
+
+
+def test_pool_hands_out_disjoint_prefixes():
+    pool = PrefixPool()
+    seen = set()
+    previous = None
+    for _ in range(100):
+        prefix = pool.allocate()
+        assert prefix.length == 24
+        assert prefix.base not in seen
+        seen.add(prefix.base)
+        if previous is not None:
+            assert prefix.base == previous.base + 256
+        previous = prefix
+    assert pool.allocated_count == 100

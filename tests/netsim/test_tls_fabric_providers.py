@@ -1,0 +1,110 @@
+"""Tests for certificates, the serving fabric and the provider catalog."""
+
+import pytest
+
+from repro.netsim.anycast import AnycastGroup, AnycastIndex
+from repro.netsim.asn import ASKind, AutonomousSystem, PoP
+from repro.netsim.fabric import ServingFabric
+from repro.netsim.providers import (
+    GLOBAL_PROVIDERS,
+    PROVIDERS_BY_KEY,
+    WIDE,
+    provider_keys,
+)
+from repro.netsim.registry import IpRegistry
+from repro.netsim.tls import Certificate, CertificateStore
+
+
+def test_certificate_covers_exact_and_wildcard():
+    cert = Certificate(subject="www.gov.br", sans=("www.gov.br", "*.gov.br"))
+    assert cert.covers("www.gov.br")
+    assert cert.covers("static.gov.br")
+    assert not cert.covers("a.b.gov.br")  # wildcard is single-label
+    assert not cert.covers("gov.br.evil.com")
+
+
+def test_certificate_store_roundtrip():
+    store = CertificateStore()
+    cert = Certificate(subject="a.example", sans=("a.example", "b.example"))
+    store.install("A.EXAMPLE", cert)
+    assert store.get("a.example") is cert
+    assert store.sans_of("a.example") == ("a.example", "b.example")
+    assert store.sans_of("missing.example") == ()
+    assert len(store) == 1
+
+
+@pytest.fixture
+def fabric():
+    registry = IpRegistry()
+    index = AnycastIndex()
+    autonomous_system = AutonomousSystem(
+        asn=64500, name="X", organization="X Hosting",
+        registration_country="DE", kind=ASKind.LOCAL_HOSTING,
+        pops=(PoP("DE", "Frankfurt", 50.1, 8.7),),
+    )
+    unicast = registry.allocate_address(autonomous_system, autonomous_system.pops[0])
+    anycast_address = registry.allocate_address(
+        autonomous_system, autonomous_system.pops[0]
+    )
+    index.add(AnycastGroup(
+        address=anycast_address, asn=64500,
+        pops=(PoP("US", "Washington", 38.9, -77.0), PoP("SG", "Singapore", 1.3, 103.8)),
+    ))
+    return ServingFabric(registry, index), unicast, anycast_address
+
+
+def test_unicast_site_is_client_independent(fabric):
+    serving_fabric, unicast, _ = fabric
+    site_a = serving_fabric.server_site(unicast, 0.0, 0.0)
+    site_b = serving_fabric.server_site(unicast, 40.0, -70.0)
+    assert site_a == site_b
+    assert site_a.country == "DE"
+
+
+def test_anycast_site_depends_on_client(fabric):
+    serving_fabric, _, anycast_address = fabric
+    from_nyc = serving_fabric.server_site(anycast_address, 40.7, -74.0)
+    from_jakarta = serving_fabric.server_site(anycast_address, -6.2, 106.8)
+    assert from_nyc.country == "US"
+    assert from_jakarta.country == "SG"
+
+
+def test_unicast_location_rejects_anycast(fabric):
+    serving_fabric, _, anycast_address = fabric
+    with pytest.raises(ValueError):
+        serving_fabric.unicast_location(anycast_address)
+
+
+def test_icmp_responsiveness_flag(fabric):
+    serving_fabric, unicast, _ = fabric
+    assert serving_fabric.responds_to_ping(unicast)
+    serving_fabric.mark_unresponsive(unicast)
+    assert not serving_fabric.responds_to_ping(unicast)
+
+
+def test_provider_catalog_has_28_entries():
+    assert len(GLOBAL_PROVIDERS) == 28
+    assert len(provider_keys()) == 28
+
+
+def test_cloudflare_leads_the_catalog():
+    first = GLOBAL_PROVIDERS[0]
+    assert first.key == "cloudflare"
+    assert first.asn == 13335
+    assert first.footprint is WIDE
+    assert first.anycast
+
+
+def test_adoption_priors_decay():
+    priors = [spec.adoption_prior for spec in GLOBAL_PROVIDERS]
+    assert priors == sorted(priors, reverse=True)
+    # Expected country counts roughly match Figure 10's top entries.
+    assert round(priors[0] * 61) == 49   # Cloudflare
+    assert round(priors[1] * 61) == 31   # Amazon
+    assert round(priors[2] * 61) == 28   # Microsoft
+
+
+def test_catalog_registration_countries():
+    assert PROVIDERS_BY_KEY["hetzner"].registration_country == "DE"
+    assert PROVIDERS_BY_KEY["ovh"].registration_country == "FR"
+    assert PROVIDERS_BY_KEY["voxility"].registration_country == "RO"

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.diversification import hhi
+from repro.categories import HostingCategory
+from repro.datagen.sitebuilder import largest_remainder
+from repro.netsim.anycast import AnycastGroup
+from repro.netsim.asn import PoP
+from repro.netsim.latency import country_threshold_ms, propagation_rtt_ms
+from repro.netsim.tls import Certificate
+from repro.urltools import registrable_domain
+from repro.world.geography import haversine_km
+
+_share_lists = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=50,
+)
+
+
+@given(_share_lists)
+def test_hhi_bounds(shares):
+    value = hhi(shares)
+    assert 1.0 / len(shares) - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(_share_lists)
+def test_hhi_scale_invariant(shares):
+    assert hhi(shares) == pytest.approx(hhi([s * 3.5 for s in shares]),
+                                        rel=1e-6)
+
+
+@given(st.integers(min_value=1, max_value=49))
+def test_hhi_uniform_is_minimum(n):
+    assert hhi([1.0] * n) == pytest.approx(1.0 / n)
+
+
+_coords = st.tuples(
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+)
+
+
+@given(st.lists(_coords, min_size=1, max_size=8), _coords)
+def test_anycast_catchment_is_argmin(pop_coords, client):
+    pops = tuple(
+        PoP(country=f"C{i}", city=f"c{i}", lat=lat, lon=lon)
+        for i, (lat, lon) in enumerate(pop_coords)
+    )
+    group = AnycastGroup(address=1, asn=1, pops=pops)
+    chosen = group.catchment(*client)
+    chosen_distance = haversine_km(client[0], client[1], chosen.lat, chosen.lon)
+    for pop in pops:
+        other = haversine_km(client[0], client[1], pop.lat, pop.lon)
+        assert chosen_distance <= other + 1e-6
+
+
+@given(st.floats(min_value=0, max_value=25000))
+def test_threshold_always_exceeds_propagation(span_km):
+    # A server exactly at the span distance remains below the threshold.
+    assert country_threshold_ms(span_km) > propagation_rtt_ms(span_km)
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=30),
+       st.randoms(use_true_random=False))
+def test_largest_remainder_permutation_stable_total(total, n, rng):
+    weights = [rng.random() + 0.01 for _ in range(n)]
+    counts = largest_remainder(total, weights)
+    assert sum(counts) == total
+
+
+_hostname = st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){0,4}\.[a-z]{2,6}",
+                          fullmatch=True)
+
+
+@given(_hostname)
+def test_registrable_domain_idempotent(hostname):
+    domain = registrable_domain(hostname)
+    assert registrable_domain(domain) == domain
+    assert 1 <= domain.count(".") <= 2
+
+
+@given(_hostname)
+def test_certificate_covers_subject_and_sans(hostname):
+    certificate = Certificate(subject=hostname, sans=(hostname,))
+    assert certificate.covers(hostname)
+    assert certificate.covers(hostname.upper())
+    assert not certificate.covers("unrelated.example")
+
+
+@given(st.sampled_from(sorted(HostingCategory, key=lambda c: c.value)))
+def test_category_third_party_partition(category):
+    assert category.is_third_party == (category is not HostingCategory.GOVT_SOE)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(2, 30))
+def test_mix_assignment_matches_targets(seed, n_slots):
+    """The generator's greedy category assignment tracks any target mix."""
+    rng = random.Random(seed)
+    budgets = sorted(
+        (max(1, int(rng.paretovariate(1.2) * 10)) for _ in range(n_slots)),
+        reverse=True,
+    )
+    total = sum(budgets)
+    shares = [rng.random() + 0.05 for _ in range(4)]
+    share_sum = sum(shares)
+    shares = [s / share_sum for s in shares]
+    targets = dict(zip(HostingCategory, [s * total for s in shares]))
+    assigned = {category: 0 for category in HostingCategory}
+    remaining = dict(targets)
+    for budget in budgets:
+        category = max(remaining, key=lambda c: remaining[c])
+        assigned[category] += budget
+        remaining[category] -= budget
+    # Greedy is within the largest single budget of every target.
+    biggest = budgets[0]
+    for category in HostingCategory:
+        assert abs(assigned[category] - targets[category]) <= biggest + 1e-9

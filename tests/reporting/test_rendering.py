@@ -1,0 +1,60 @@
+"""Tests for table and figure text rendering."""
+
+import pytest
+
+from repro.analysis.registration import LocationSplit
+from repro.categories import CATEGORY_ORDER, HostingCategory
+from repro.reporting.figures import (
+    render_histogram,
+    render_mix_bars,
+    render_region_table,
+    render_split_bars,
+)
+from repro.reporting.tables import format_fraction, render_table
+
+
+def test_format_fraction():
+    assert format_fraction(0.394) == "0.39"
+    assert format_fraction(0.5, digits=1) == "0.5"
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "long-header"], [["x", 1], ["yy", 22]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert lines[2].startswith("---")
+    assert len(lines) == 5
+
+
+def test_render_mix_bars_contains_all_categories():
+    mix = {category: 0.25 for category in HostingCategory}
+    text = render_mix_bars({"URLs": mix})
+    for category in CATEGORY_ORDER:
+        assert str(category) in text
+    assert "0.25" in text
+
+
+def test_render_split_bars():
+    text = render_split_bars({"WHOIS": LocationSplit(0.77, 0.23)})
+    assert "0.77" in text and "0.23" in text
+    assert "Domestic" in text
+
+
+def test_render_region_table_sorted_descending():
+    text = render_region_table({"A": 0.2, "B": 0.9}, "share")
+    lines = text.splitlines()
+    assert lines[2].startswith("B")
+    assert "90.00" in text
+
+
+def test_render_histogram():
+    text = render_histogram(["cloudflare", "amazon"], [49, 31], title="Fig10")
+    assert text.splitlines()[0] == "Fig10"
+    assert "49" in text and "#" in text
+
+
+def test_render_histogram_rejects_mismatch():
+    with pytest.raises(ValueError):
+        render_histogram(["a"], [1, 2])

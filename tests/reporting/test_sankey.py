@@ -1,0 +1,48 @@
+"""Tests for the Figure 9 Sankey data export."""
+
+import json
+
+from repro.reporting.sankey import build_sankey
+
+
+def test_sankey_nodes_and_links_consistent(dataset):
+    diagram = build_sankey(dataset)
+    node_codes = {node.code for node in diagram.nodes}
+    for link in diagram.links:
+        assert link.source in node_codes
+        assert link.target in node_codes
+        assert link.source != link.target
+        assert link.urls > 0
+
+
+def test_sankey_json_roundtrip(dataset):
+    diagram = build_sankey(dataset, basis="registration")
+    payload = json.loads(diagram.to_json())
+    assert payload["basis"] == "registration"
+    assert len(payload["nodes"]) == len(diagram.nodes)
+    assert len(payload["links"]) == len(diagram.links)
+    assert {"source", "target", "urls", "bytes", "source_region",
+            "target_region"} <= set(payload["links"][0])
+
+
+def test_sankey_min_urls_filters(dataset):
+    full = build_sankey(dataset, min_urls=1)
+    filtered = build_sankey(dataset, min_urls=50)
+    assert len(filtered.links) <= len(full.links)
+    for link in filtered.links:
+        assert link.urls >= 50
+
+
+def test_region_matrix_matches_table5_shape(dataset):
+    matrix = build_sankey(dataset).region_matrix()
+    eca_total = sum(v for (s, _t), v in matrix.items() if s == "ECA")
+    eca_in_region = matrix.get(("ECA", "ECA"), 0)
+    assert eca_total > 0
+    assert eca_in_region / eca_total > 0.75
+
+
+def test_france_to_new_caledonia_link(dataset):
+    diagram = build_sankey(dataset)
+    assert any(
+        link.source == "FR" and link.target == "NC" for link in diagram.links
+    )

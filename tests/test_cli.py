@@ -1,0 +1,53 @@
+"""Tests for the repro-gov command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_writes_dataset(tmp_path, capsys):
+    out = tmp_path / "ds.jsonl"
+    csv = tmp_path / "ds.csv"
+    code = main([
+        "run", "--seed", "5", "--scale", "0.05",
+        "--countries", "UY", "PY",
+        "--out", str(out), "--csv", str(csv),
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "measured" in captured
+    assert out.exists() and csv.exists()
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ds.jsonl"
+    main(["run", "--seed", "5", "--scale", "0.03", "--out", str(path)])
+    return path
+
+
+@pytest.mark.parametrize("section", [
+    "summary", "global", "regional", "domestic", "providers",
+    "diversification", "full",
+])
+def test_report_sections(saved_dataset, section, capsys):
+    assert main(["report", str(saved_dataset), "--section", section]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_inspect_known_hostname(capsys):
+    # gouv.nc exists at any scale and is deterministic.
+    assert main(["inspect", "--hostname", "gouv.nc", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "OPT" in out or "opt" in out or "NC" in out
+
+
+def test_inspect_unknown_hostname(capsys):
+    assert main(["inspect", "--hostname", "nope.example",
+                 "--scale", "0.02"]) == 1
+    assert "unknown hostname" in capsys.readouterr().err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

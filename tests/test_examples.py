@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [script] + argv
+    try:
+        runpy.run_path(str(_EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", ["0.02", "3"], capsys)
+    assert "Dataset summary" in out
+    assert "Global hosting mix" in out
+
+
+def test_sovereignty_report(capsys):
+    out = _run("sovereignty_report.py", ["UY", "MX"], capsys)
+    assert "Uruguay" in out and "Mexico" in out
+    assert "servers abroad" in out
+
+
+def test_inspect_hostname(capsys):
+    out = _run("inspect_hostname.py", [], capsys)
+    assert "Serving infrastructure" in out
+    assert "Validation" in out
+
+
+@pytest.mark.slow
+def test_provider_centralization(capsys):
+    out = _run("provider_centralization.py", [], capsys)
+    assert "Countries relying on each Global provider" in out
+    assert "Diversification" in out
+
+
+@pytest.mark.slow
+def test_government_vs_topsites(capsys):
+    out = _run("government_vs_topsites.py", [], capsys)
+    assert "Hosting mixes" in out
+    assert "Domestic vs international" in out
+
+
+@pytest.mark.slow
+def test_full_report(capsys):
+    out = _run("full_report.py", ["0.02"], capsys)
+    assert "reproduction report" in out
+    assert "Extensions" in out

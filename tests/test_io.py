@@ -1,0 +1,91 @@
+"""Tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    FORMAT_VERSION,
+    export_csv,
+    load_dataset,
+    record_from_dict,
+    record_to_dict,
+    save_dataset,
+)
+
+
+def test_record_roundtrip(dataset):
+    record = next(dataset.iter_records())
+    assert record_from_dict(record_to_dict(record)) == record
+
+
+def test_save_and_load_roundtrip(tmp_path, dataset):
+    path = tmp_path / "dataset.jsonl"
+    written = save_dataset(dataset, path)
+    assert written == sum(cd.url_count for cd in dataset.countries.values())
+
+    loaded = load_dataset(path)
+    assert set(loaded.countries) == set(dataset.countries)
+    for code, original in dataset.countries.items():
+        restored = loaded.countries[code]
+        assert restored.landing_count == original.landing_count
+        assert restored.discarded_url_count == original.discarded_url_count
+        assert restored.depth_histogram == original.depth_histogram
+        assert len(restored.records) == len(original.records)
+    assert loaded.summarize() == dataset.summarize()
+    assert loaded.validation.table4() == dataset.validation.table4()
+
+
+def test_loaded_dataset_supports_analyses(tmp_path, dataset):
+    from repro.analysis import global_breakdown
+
+    path = tmp_path / "dataset.jsonl"
+    save_dataset(dataset, path)
+    loaded = load_dataset(path)
+    assert global_breakdown(loaded) == global_breakdown(dataset)
+
+
+def test_header_format_checked(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"format": 999, "countries": {}}) + "\n")
+    with pytest.raises(ValueError):
+        load_dataset(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_dataset(path)
+
+
+def test_format_version_is_stable():
+    assert FORMAT_VERSION == 1
+
+
+def test_corrupt_record_reports_line_number(tmp_path, dataset):
+    path = tmp_path / "corrupt.jsonl"
+    save_dataset(dataset, path)
+    lines = path.read_text().splitlines()
+    lines[3] = "{not json"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=":4:"):
+        load_dataset(path)
+
+
+def test_record_with_missing_field_rejected(tmp_path, dataset):
+    path = tmp_path / "missing.jsonl"
+    save_dataset(dataset, path)
+    lines = path.read_text().splitlines()
+    lines[1] = json.dumps({"url": "https://x/"})
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=":2:"):
+        load_dataset(path)
+
+
+def test_export_csv(tmp_path, dataset):
+    path = tmp_path / "dataset.csv"
+    written = export_csv(dataset, path)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == written + 1  # header
+    assert lines[0].startswith("url,hostname,country")

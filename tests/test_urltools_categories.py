@@ -1,0 +1,68 @@
+"""Tests for URL utilities and the category enum."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.categories import CATEGORY_ORDER, HostingCategory
+from repro.urltools import (
+    hostname_of,
+    labels_of,
+    path_of,
+    registrable_domain,
+    same_registrable_domain,
+)
+
+
+def test_hostname_of_lowercases():
+    assert hostname_of("https://WWW.Gov.BR/path?q=1") == "www.gov.br"
+
+
+def test_hostname_of_rejects_relative():
+    with pytest.raises(ValueError):
+        hostname_of("/just/a/path")
+
+
+def test_path_of():
+    assert path_of("https://x.gov/br/abc") == "/br/abc"
+    assert path_of("https://x.gov") == "/"
+
+
+@pytest.mark.parametrize("hostname,expected", [
+    ("www.ipc.gob.mx", "ipc.gob.mx"),
+    ("cdn.example.com", "example.com"),
+    ("a.b.c.example.org", "example.org"),
+    ("www.prodecon.gob.mx", "prodecon.gob.mx"),
+    ("nbso-brazil.com.br", "nbso-brazil.com.br"),
+    ("energia-argentina.com.ar", "energia-argentina.com.ar"),
+    ("static.health.gov.uk", "health.gov.uk"),
+    ("localhost", "localhost"),
+    ("example.com", "example.com"),
+])
+def test_registrable_domain(hostname, expected):
+    assert registrable_domain(hostname) == expected
+
+
+def test_same_registrable_domain():
+    assert same_registrable_domain("img.youtube.com", "www.youtube.com")
+    assert not same_registrable_domain("img.youtube.com", "youtube.org")
+
+
+def test_labels_of_strips_root_dot():
+    assert labels_of("www.Gov.BR.") == ("www", "gov", "br")
+
+
+@given(st.from_regex(r"[a-z]{1,8}(\.[a-z]{2,8}){1,4}", fullmatch=True))
+def test_registrable_domain_is_suffix(hostname):
+    domain = registrable_domain(hostname)
+    assert hostname.endswith(domain)
+    assert registrable_domain(domain) == domain
+
+
+def test_category_enum():
+    assert len(HostingCategory) == 4
+    assert len(CATEGORY_ORDER) == 4
+    assert not HostingCategory.GOVT_SOE.is_third_party
+    for category in (HostingCategory.P3_LOCAL, HostingCategory.P3_REGIONAL,
+                     HostingCategory.P3_GLOBAL):
+        assert category.is_third_party
+    assert str(HostingCategory.GOVT_SOE) == "Govt&SOE"

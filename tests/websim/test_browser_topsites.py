@@ -1,0 +1,51 @@
+"""Tests for the HAR-producing browser and topsite definitions."""
+
+import pytest
+
+from repro.measure.vpn import VpnCatalog
+from repro.websim.browser import Browser
+from repro.websim.topsites import COMPARISON_COUNTRIES, TopSite, TopsiteHosting
+from repro.websim.webserver import PageNotFoundError, WebFabric
+from tests.websim.test_sites_webserver import _make_site
+
+
+def test_browser_emits_har_entries():
+    fabric = WebFabric()
+    site = _make_site()
+    fabric.register_site(site)
+    browser = Browser(fabric)
+    vantage = VpnCatalog().vantage_for("BR")
+    load = browser.load(site.landing_url, vantage)
+    assert load.url == site.landing_url
+    # One entry for the page itself plus one per embedded resource.
+    assert len(load.entries) == 2
+    assert load.entries[0].url == site.landing_url
+    assert load.entries[0].content_type == "text/html"
+    assert load.entries[1].size_bytes == 1000
+    assert load.links == ("https://www.health.gov.br/l1/p0",)
+
+
+def test_browser_propagates_404():
+    browser = Browser(WebFabric())
+    vantage = VpnCatalog().vantage_for("BR")
+    with pytest.raises(PageNotFoundError):
+        browser.load("https://missing/", vantage)
+
+
+def test_comparison_countries_are_two_per_region():
+    assert len(COMPARISON_COUNTRIES) == 14
+    from repro.world.countries import get_country
+
+    regions = {}
+    for code in COMPARISON_COUNTRIES:
+        region = get_country(code).region
+        regions[region] = regions.get(region, 0) + 1
+    # Every country resolves and at least 6 distinct regions are covered
+    # (the paper assigns Egypt to the Africa pair of Table 6).
+    assert len(regions) >= 6
+
+
+def test_topsite_rank_validation():
+    with pytest.raises(ValueError):
+        TopSite(country="BR", hostname="h", landing_url="u", rank=0,
+                truth_hosting=TopsiteHosting.GLOBAL)

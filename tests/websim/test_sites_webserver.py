@@ -1,0 +1,96 @@
+"""Tests for the web substrate: sites, pages, serving, geo-blocking."""
+
+import pytest
+
+from repro.websim.sites import GovernmentSite, Page, Resource, SiteKind
+from repro.websim.webserver import GeoBlockedError, PageNotFoundError, WebFabric
+
+
+def _make_site(geo_restricted=False):
+    landing = Page(
+        url="https://www.health.gov.br/",
+        hostname="www.health.gov.br",
+        depth=0,
+        resources=(
+            Resource(url="https://www.health.gov.br/a.js",
+                     hostname="www.health.gov.br", size_bytes=1000),
+        ),
+        links=("https://www.health.gov.br/l1/p0",),
+        size_bytes=5000,
+    )
+    deep = Page(
+        url="https://www.health.gov.br/l1/p0",
+        hostname="www.health.gov.br",
+        depth=1,
+        resources=(),
+        links=(),
+        size_bytes=2000,
+    )
+    return GovernmentSite(
+        country="BR",
+        hostname="www.health.gov.br",
+        landing_url=landing.url,
+        kind=SiteKind.MINISTRY,
+        pages={landing.url: landing, deep.url: deep},
+        geo_restricted=geo_restricted,
+    )
+
+
+def test_resource_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Resource(url="u", hostname="h", size_bytes=-1)
+
+
+def test_site_navigation_helpers():
+    site = _make_site()
+    assert site.landing_page().depth == 0
+    assert site.page("https://www.health.gov.br/l1/p0").depth == 1
+    assert site.page("https://missing/") is None
+    assert site.max_depth == 1
+    assert len(list(site.iter_pages())) == 2
+
+
+def test_unique_urls_counts_pages_and_resources():
+    site = _make_site()
+    urls = site.unique_urls()
+    assert len(urls) == 3  # two pages + one resource
+    assert "https://www.health.gov.br/a.js" in urls
+
+
+def test_page_all_resource_urls_includes_self():
+    site = _make_site()
+    urls = site.landing_page().all_resource_urls()
+    assert urls[0] == site.landing_url
+    assert len(urls) == 2
+
+
+def test_fabric_serves_registered_pages():
+    fabric = WebFabric()
+    site = _make_site()
+    fabric.register_site(site)
+    page = fabric.fetch(site.landing_url, "BR")
+    assert page is site.landing_page()
+    assert fabric.site_of("www.health.gov.br") is site
+    assert fabric.page_count == 2
+
+
+def test_fabric_404():
+    fabric = WebFabric()
+    with pytest.raises(PageNotFoundError):
+        fabric.fetch("https://nowhere/", "BR")
+
+
+def test_geo_restriction_blocks_foreign_clients():
+    fabric = WebFabric()
+    fabric.register_site(_make_site(geo_restricted=True))
+    with pytest.raises(GeoBlockedError):
+        fabric.fetch("https://www.health.gov.br/", "US")
+    # Domestic clients pass -- the reason the study uses in-country VPNs.
+    assert fabric.fetch("https://www.health.gov.br/", "BR") is not None
+
+
+def test_duplicate_site_rejected():
+    fabric = WebFabric()
+    fabric.register_site(_make_site())
+    with pytest.raises(ValueError):
+        fabric.register_site(_make_site())

@@ -1,0 +1,113 @@
+"""Tests for the country sample (Table 9 constants)."""
+
+import pytest
+
+from repro.world.countries import (
+    COUNTRIES,
+    WORLD_INTERNET_USERS_M,
+    countries_in_region,
+    eu_members,
+    get_country,
+    iter_countries,
+)
+from repro.world.regions import Continent, Region
+
+
+def test_sample_has_61_countries():
+    assert len(COUNTRIES) == 61
+
+
+def test_regional_composition_matches_table9():
+    expected = {
+        Region.NA: 2,
+        Region.LAC: 8,
+        Region.ECA: 29,
+        Region.MENA: 5,
+        Region.SSA: 2,
+        Region.SA: 3,
+        Region.EAP: 12,
+    }
+    for region, count in expected.items():
+        assert len(countries_in_region(region)) == count, region
+
+
+def test_internet_population_coverage_exceeds_82_percent():
+    total = sum(c.internet_pop_share for c in COUNTRIES.values())
+    assert total == pytest.approx(82.70, abs=1.5)
+
+
+def test_vpn_provider_counts_match_paper():
+    providers = {}
+    for country in COUNTRIES.values():
+        providers[country.vpn_provider] = providers.get(country.vpn_provider, 0) + 1
+    assert providers["NordVPN"] == 49
+    assert providers["Surfshark"] == 10
+    assert providers["Hotspot Shield"] == 2
+
+
+def test_get_country_is_case_insensitive():
+    assert get_country("br") is get_country("BR")
+
+
+def test_get_country_unknown_raises():
+    with pytest.raises(KeyError):
+        get_country("XX")
+
+
+def test_table8_totals_are_close_to_paper():
+    # The per-country rows of Table 8 sum close to -- but not exactly to --
+    # the Table 3 headline numbers (the paper's own rows don't reconcile
+    # perfectly either); we require agreement within ~8%.
+    landing = sum(c.landing_urls for c in COUNTRIES.values())
+    internal = sum(c.internal_urls for c in COUNTRIES.values())
+    hostnames = sum(c.hostnames for c in COUNTRIES.values())
+    assert landing == pytest.approx(15_878, rel=0.08)
+    assert internal == pytest.approx(1_017_865, rel=0.08)
+    assert hostnames == pytest.approx(13_483, rel=0.08)
+
+
+def test_korea_has_empty_dataset_rows():
+    korea = get_country("KR")
+    assert korea.landing_urls == 0
+    assert korea.internal_urls == 0
+    assert korea.hostnames == 0
+
+
+def test_internet_users_derived_from_share():
+    us = get_country("US")
+    assert us.internet_users_m == pytest.approx(
+        5.76 / 100 * WORLD_INTERNET_USERS_M
+    )
+
+
+def test_eu_membership_plausible():
+    members = {c.code for c in eu_members()}
+    assert "DE" in members and "FR" in members and "EE" in members
+    assert "GB" not in members  # post-Brexit
+    assert "NO" not in members and "CH" not in members
+    assert len(members) == 17
+
+
+def test_every_country_has_continent_and_cities():
+    from repro.world.cities import cities_of
+
+    for country in iter_countries():
+        assert isinstance(country.continent, Continent)
+        assert len(cities_of(country.code)) >= 1
+
+
+def test_gov_suffix_conventions():
+    assert "gov.br" in get_country("BR").gov_suffixes
+    assert "gub.uy" in get_country("UY").gov_suffixes
+    assert "gouv.fr" in get_country("FR").gov_suffixes
+    # Countries documented as having no convention (Section 8).
+    for code in ("DE", "NL", "SE", "DK", "NO", "EE", "HU"):
+        assert get_country(code).gov_suffixes == ()
+
+
+def test_appendix_e_features_present_and_positive():
+    for country in iter_countries():
+        assert country.gdp_per_capita_kusd > 0
+        assert 0 < country.nri < 100
+        assert 0 < country.efi < 100
+        assert 0 < country.idi < 10

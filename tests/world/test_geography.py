@@ -1,0 +1,91 @@
+"""Tests for great-circle geometry and road spans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.cities import capital_of, cities_of
+from repro.world.countries import COUNTRIES
+from repro.world.geography import (
+    EARTH_RADIUS_KM,
+    ROAD_CIRCUITY_FACTOR,
+    country_distance_km,
+    country_span_km,
+    haversine_km,
+    road_span_km,
+)
+
+_coords = st.tuples(
+    st.floats(min_value=-89.9, max_value=89.9),
+    st.floats(min_value=-180.0, max_value=180.0),
+)
+
+
+def test_zero_distance_to_self():
+    assert haversine_km(48.9, 2.3, 48.9, 2.3) == 0.0
+
+
+def test_known_distance_paris_london():
+    distance = haversine_km(48.9, 2.3, 51.5, -0.1)
+    assert distance == pytest.approx(340, rel=0.05)
+
+
+def test_antipodal_distance_near_half_circumference():
+    distance = haversine_km(0, 0, 0, 180)
+    assert distance == pytest.approx(3.14159 * EARTH_RADIUS_KM, rel=0.01)
+
+
+@given(_coords, _coords)
+def test_haversine_symmetry(a, b):
+    assert haversine_km(*a, *b) == pytest.approx(haversine_km(*b, *a), rel=1e-9)
+
+
+@given(_coords, _coords)
+def test_haversine_bounds(a, b):
+    distance = haversine_km(*a, *b)
+    assert 0 <= distance <= 3.1416 * EARTH_RADIUS_KM
+
+
+@given(_coords, _coords, _coords)
+def test_haversine_triangle_inequality(a, b, c):
+    ab = haversine_km(*a, *b)
+    bc = haversine_km(*b, *c)
+    ac = haversine_km(*a, *c)
+    assert ac <= ab + bc + 1e-6
+
+
+def test_country_span_positive_everywhere():
+    for code in COUNTRIES:
+        assert country_span_km(code) > 0
+
+
+def test_city_states_get_nominal_span():
+    assert country_span_km("SG") == 50.0
+    assert country_span_km("HK") == 50.0
+
+
+def test_span_covers_all_city_pairs():
+    for code in ("US", "BR", "RU", "CL"):
+        cities = cities_of(code)
+        span = country_span_km(code)
+        for i, a in enumerate(cities):
+            for b in cities[i + 1:]:
+                assert haversine_km(a.lat, a.lon, b.lat, b.lon) <= span + 1e-9
+
+
+def test_road_span_applies_circuity():
+    assert road_span_km("BR") == pytest.approx(
+        country_span_km("BR") * ROAD_CIRCUITY_FACTOR
+    )
+
+
+def test_country_distance_uses_capitals():
+    distance = country_distance_km("FR", "GB")
+    capital_fr = capital_of("FR")
+    capital_gb = capital_of("GB")
+    assert distance == pytest.approx(
+        haversine_km(capital_fr.lat, capital_fr.lon, capital_gb.lat, capital_gb.lon)
+    )
+
+
+def test_russia_span_is_continental():
+    assert country_span_km("RU") > 2500

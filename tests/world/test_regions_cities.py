@@ -1,0 +1,62 @@
+"""Tests for the regional taxonomy and city data."""
+
+import pytest
+
+from repro.world.cities import (
+    CITIES,
+    EXTRA_TERRITORIES,
+    all_location_codes,
+    capital_of,
+    cities_of,
+)
+from repro.world.countries import COUNTRIES
+from repro.world.regions import REGION_ORDER, Continent, Region
+
+
+def test_seven_regions():
+    assert len(Region) == 7
+    assert len(REGION_ORDER) == 7
+    assert set(REGION_ORDER) == set(Region)
+
+
+def test_six_continents():
+    assert len(Continent) == 6
+
+
+def test_region_codes_match_paper_abbreviations():
+    assert Region.ECA.code == "ECA"
+    assert Region.MENA.code == "MENA"
+
+
+def test_city_data_covers_every_sample_country():
+    assert set(CITIES) == set(COUNTRIES)
+
+
+def test_extra_territories_bring_total_to_68():
+    assert len(all_location_codes()) == 68
+
+
+def test_extra_territories_include_new_caledonia():
+    assert "NC" in EXTRA_TERRITORIES
+    name, region, continent, city = EXTRA_TERRITORIES["NC"]
+    assert region is Region.EAP
+    assert continent is Continent.OCEANIA
+    assert city.name == "Noumea"
+
+
+def test_capitals_are_first_city():
+    assert capital_of("FR").name == "Paris"
+    assert capital_of("US").name == "Washington"
+    assert capital_of("BR").name == "Brasilia"
+
+
+def test_cities_of_unknown_code_raises():
+    with pytest.raises(KeyError):
+        cities_of("ZZ")
+
+
+def test_city_coordinates_within_bounds():
+    for code in all_location_codes():
+        for city in cities_of(code):
+            assert -90 <= city.lat <= 90
+            assert -180 <= city.lon <= 180
