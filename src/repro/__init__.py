@@ -24,6 +24,7 @@ from repro.core.dataset import (
     DatasetSummary,
     GovernmentHostingDataset,
 )
+from repro.exec import ProcessExecutor, SerialExecutor, ThreadExecutor
 
 __version__ = "1.0.0"
 
@@ -35,6 +36,9 @@ __all__ = [
     "GroundTruth",
     "HostTruth",
     "Pipeline",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
     "UrlRecord",
     "CountryDataset",
     "DatasetSummary",

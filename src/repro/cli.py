@@ -17,6 +17,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.exec import EXECUTOR_NAMES, make_executor
 from repro.reporting.tables import render_table
 
 _SECTIONS = ("summary", "global", "regional", "domestic", "providers",
@@ -42,6 +43,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the dataset as JSON lines")
     run.add_argument("--csv", metavar="PATH",
                      help="also export a flat CSV")
+    run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                     help="execution strategy for the per-country scans "
+                          "(default: serial; --workers alone implies "
+                          "processes, the scan phase is GIL-bound)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker count for parallel executors "
+                          "(default: the machine's CPU count)")
 
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset"
@@ -64,7 +72,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         countries=args.countries or None,
     )
     world = SyntheticWorld.generate(config)
-    dataset = Pipeline(world).run()
+    executor_name = args.executor
+    if executor_name is None:
+        executor_name = "processes" if args.workers else "serial"
+    executor = make_executor(executor_name, workers=args.workers)
+    try:
+        dataset = Pipeline(world).run(executor=executor)
+    finally:
+        executor.close()
     summary = dataset.summarize()
     print(f"measured {summary.total_unique_urls:,} URLs over "
           f"{summary.unique_hostnames:,} hostnames "

@@ -18,6 +18,7 @@ the paper's operational definition.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable
 
 from repro.categories import HostingCategory
@@ -26,32 +27,75 @@ from repro.world.countries import COUNTRIES
 from repro.world.regions import Continent
 
 
-class CategoryClassifier:
-    """Categorizes serving infrastructure once footprints are known."""
+@dataclasses.dataclass
+class ProviderFootprint:
+    """Observed continental footprint of every serving AS.
 
-    def __init__(self, ownership: GovernmentASClassifier) -> None:
-        self._ownership = ownership
-        self._continents_by_asn: dict[int, set[Continent]] = {}
+    A plain set-union monoid (identity: ``ProviderFootprint()``), so
+    per-country footprints collected by parallel pipeline shards merge
+    into the global footprint in any grouping or order.  Picklable, so
+    process workers can ship their shard's footprint back to the driver.
+    """
+
+    continents_by_asn: dict[int, set[Continent]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def observe(self, asn: int, government_country: str) -> None:
         """Record that ``asn`` serves the government of a country."""
         country = COUNTRIES.get(government_country.upper())
         if country is None:
             return
-        self._continents_by_asn.setdefault(asn, set()).add(country.continent)
+        self.continents_by_asn.setdefault(asn, set()).add(country.continent)
+
+    def continents(self, asn: int) -> frozenset[Continent]:
+        """Continents of the governments ``asn`` serves."""
+        return frozenset(self.continents_by_asn.get(asn, ()))
+
+    def merge(self, other: "ProviderFootprint") -> "ProviderFootprint":
+        """Union of two footprints (leaves both operands untouched)."""
+        merged = {asn: set(continents)
+                  for asn, continents in self.continents_by_asn.items()}
+        for asn, continents in other.continents_by_asn.items():
+            merged.setdefault(asn, set()).update(continents)
+        return ProviderFootprint(continents_by_asn=merged)
+
+    def __add__(self, other: "ProviderFootprint") -> "ProviderFootprint":
+        if not isinstance(other, ProviderFootprint):
+            return NotImplemented
+        return self.merge(other)
+
+    def __len__(self) -> int:
+        return len(self.continents_by_asn)
+
+
+class CategoryClassifier:
+    """Categorizes serving infrastructure once footprints are known."""
+
+    def __init__(self, ownership: GovernmentASClassifier) -> None:
+        self._ownership = ownership
+        self._footprint = ProviderFootprint()
+
+    def observe(self, asn: int, government_country: str) -> None:
+        """Record that ``asn`` serves the government of a country."""
+        self._footprint.observe(asn, government_country)
 
     def observe_all(self, pairs: Iterable[tuple[int, str]]) -> None:
         """Bulk version of :meth:`observe`."""
         for asn, government_country in pairs:
             self.observe(asn, government_country)
 
+    def ingest(self, footprint: ProviderFootprint) -> None:
+        """Merge an externally collected footprint (parallel reduction)."""
+        self._footprint = self._footprint.merge(footprint)
+
     def footprint(self, asn: int) -> frozenset[Continent]:
         """Continents of the governments ``asn`` serves in the dataset."""
-        return frozenset(self._continents_by_asn.get(asn, set()))
+        return self._footprint.continents(asn)
 
     def is_global_provider(self, asn: int) -> bool:
         """Whether ``asn`` meets the paper's Global definition."""
-        return len(self._continents_by_asn.get(asn, ())) >= 2
+        return len(self._footprint.continents_by_asn.get(asn, ())) >= 2
 
     def categorize(
         self,
@@ -72,9 +116,9 @@ class CategoryClassifier:
         """All ASNs classified Global by footprint (and not government)."""
         return sorted(
             asn
-            for asn, continents in self._continents_by_asn.items()
+            for asn, continents in self._footprint.continents_by_asn.items()
             if len(continents) >= 2 and not self._ownership.is_government(asn)
         )
 
 
-__all__ = ["CategoryClassifier"]
+__all__ = ["ProviderFootprint", "CategoryClassifier"]

@@ -39,10 +39,7 @@ class CrawlResult:
 
     def depth_histogram(self) -> dict[int, int]:
         """URL counts per discovery depth."""
-        histogram: dict[int, int] = {}
-        for depth in self.depth_of.values():
-            histogram[depth] = histogram.get(depth, 0) + 1
-        return dict(sorted(histogram.items()))
+        return dict(sorted(collections.Counter(self.depth_of.values()).items()))
 
 
 class Crawler:

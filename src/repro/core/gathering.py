@@ -12,6 +12,7 @@ by the domain-matching filter step.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from repro.urltools import hostname_of
 
@@ -23,9 +24,14 @@ class GovernmentDirectory:
     country: str
     landing_urls: tuple[str, ...]
 
-    @property
+    @functools.cached_property
     def hostnames(self) -> frozenset[str]:
-        """Hostnames appearing in the directory (for domain matching)."""
+        """Hostnames appearing in the directory (for domain matching).
+
+        Computed once per directory; the URL filter consults it for
+        every crawled hostname, so re-parsing the landing URLs on each
+        access was a measurable hot path.
+        """
         return frozenset(hostname_of(url) for url in self.landing_urls)
 
     @property

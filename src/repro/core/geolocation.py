@@ -67,7 +67,13 @@ class GeoVerdict:
 
 @dataclasses.dataclass
 class ValidationStats:
-    """Tallies reproducing Table 4 of the paper."""
+    """Tallies reproducing Table 4 of the paper.
+
+    Stats form a commutative monoid under :meth:`merge` (identity:
+    ``ValidationStats()``), so per-shard tallies from parallel pipeline
+    executions can be reduced in any grouping without changing the
+    result.
+    """
 
     unicast_ap: int = 0
     unicast_mg: int = 0
@@ -83,6 +89,44 @@ class ValidationStats:
     @property
     def anycast_total(self) -> int:
         return self.anycast_ap + self.anycast_unresolved
+
+    def merge(self, other: "ValidationStats") -> "ValidationStats":
+        """Component-wise sum of two disjoint tallies."""
+        return ValidationStats(
+            unicast_ap=self.unicast_ap + other.unicast_ap,
+            unicast_mg=self.unicast_mg + other.unicast_mg,
+            unicast_unresolved=self.unicast_unresolved + other.unicast_unresolved,
+            unicast_conflicts=self.unicast_conflicts + other.unicast_conflicts,
+            anycast_ap=self.anycast_ap + other.anycast_ap,
+            anycast_unresolved=self.anycast_unresolved + other.anycast_unresolved,
+        )
+
+    def __add__(self, other: "ValidationStats") -> "ValidationStats":
+        if not isinstance(other, ValidationStats):
+            return NotImplemented
+        return self.merge(other)
+
+    def tally(self, verdict: "GeoVerdict") -> None:
+        """Count one *newly observed address* into the Table 4 columns.
+
+        Callers are responsible for the count-each-address-once rule;
+        this method only encodes how a verdict maps onto the columns
+        (shared by the serial geolocator and the parallel replay).
+        """
+        if verdict.anycast:
+            if verdict.method is ValidationMethod.ACTIVE_PROBING:
+                self.anycast_ap += 1
+            else:
+                self.anycast_unresolved += 1
+        elif verdict.method is ValidationMethod.ACTIVE_PROBING:
+            self.unicast_ap += 1
+        elif verdict.method is ValidationMethod.MULTISTAGE and not verdict.conflict:
+            self.unicast_mg += 1
+        elif verdict.conflict:
+            self.unicast_conflicts += 1
+            self.unicast_unresolved += 1
+        else:
+            self.unicast_unresolved += 1
 
     def table4(self) -> dict[str, dict[str, float]]:
         """Fractions of addresses validated by AP and MG, or unresolved."""
@@ -183,10 +227,7 @@ class Geolocator:
         self._anycast_cache[key] = verdict
         if address not in self._counted:
             self._counted.add(address)
-            if within:
-                self.stats.anycast_ap += 1
-            else:
-                self.stats.anycast_unresolved += 1
+            self.stats.tally(verdict)
         return verdict
 
     # ------------------------------------------------------------- internals
@@ -250,15 +291,7 @@ class Geolocator:
         return None
 
     def _tally_unicast(self, verdict: GeoVerdict) -> None:
-        if verdict.method is ValidationMethod.ACTIVE_PROBING:
-            self.stats.unicast_ap += 1
-        elif verdict.method is ValidationMethod.MULTISTAGE and not verdict.conflict:
-            self.stats.unicast_mg += 1
-        elif verdict.conflict:
-            self.stats.unicast_conflicts += 1
-            self.stats.unicast_unresolved += 1
-        else:
-            self.stats.unicast_unresolved += 1
+        self.stats.tally(verdict)
 
 
 __all__ = [

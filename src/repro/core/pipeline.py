@@ -11,23 +11,38 @@ Runs the full methodology over a synthetic world:
    ownership (Section 3.4);
 5. geolocate and validate every server address (Section 3.5);
 6. classify hosting categories and assemble the dataset (Sections 4-5).
+
+Execution is split into a per-country **phase 1** (steps 1-5, no
+cross-country data dependency) and a cheap **phase 2** (step 6, which
+needs every AS's cross-country footprint).  Phase 1 fans out over any
+:class:`~repro.exec.ExecutionStrategy`; the two cross-country
+reductions — provider footprints and Table 4 validation stats — are
+merged deterministically on the driver, so parallel runs are
+bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.asclassify import GovernmentASClassifier
-from repro.core.classification import CategoryClassifier
+from repro.core.classification import CategoryClassifier, ProviderFootprint
 from repro.core.crawler import DEFAULT_MAX_DEPTH, Crawler, CrawlResult
 from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
 from repro.core.gathering import compile_directory
-from repro.core.geolocation import Geolocator
+from repro.core.geolocation import GeoVerdict, Geolocator
 from repro.core.infrastructure import HostInfrastructure, InfrastructureMapper
 from repro.core.urlfilter import FilterOutcome, GovernmentUrlFilter
 from repro.datagen.generator import SyntheticWorld
 from repro.datagen.seeds import derive_rng
+from repro.exec import (
+    ExecutionStrategy,
+    SerialExecutor,
+    merge_footprints,
+    merge_validation,
+)
+from repro.exec.partials import CountryPartial, HostAnnotation, UrlObservation
 from repro.measure.atlas import AtlasClient
 from repro.netsim.latency import LatencyModel
 from repro.websim.browser import Browser
@@ -63,6 +78,10 @@ class Pipeline:
         )
         self.categories = CategoryClassifier(self.ownership)
         self.atlas = self._make_atlas(world)
+        #: Whether worker processes can rebuild an equivalent pipeline
+        #: from the world's config alone (False once a custom geolocator
+        #: is injected; its configuration cannot be shipped to workers).
+        self.supports_process_execution = geolocator is None
         self.geolocator = geolocator or Geolocator(
             ipinfo=world.ipinfo,
             manycast=world.manycast,
@@ -70,6 +89,11 @@ class Pipeline:
             hoiho=world.hoiho,
             ipmap=world.ipmap,
         )
+        #: Geolocation verdict per (hostname, vantage country), shared
+        #: across shards and repeated runs.  Sound because verdicts are
+        #: pure functions of the world (ping jitter is keyed per
+        #: probe/address pair, not drawn from a shared stream).
+        self._host_verdicts: dict[tuple[str, str], GeoVerdict] = {}
 
     @staticmethod
     def _make_atlas(world: SyntheticWorld) -> AtlasClient:
@@ -103,74 +127,126 @@ class Pipeline:
             landing_count=directory.landing_count,
         )
 
-    def run(self, countries: Optional[list[str]] = None) -> GovernmentHostingDataset:
-        """Run the full pipeline and assemble the dataset."""
-        codes = [c.upper() for c in countries] if countries else self.world.country_codes()
+    def scan_partial(self, code: str) -> CountryPartial:
+        """Phase 1 for one country: scan, geolocate, annotate.
 
-        scans = [self.scan_country(code) for code in codes]
-
-        # The Global-provider definition needs the cross-country footprint
-        # of every AS before categories can be assigned.
-        for scan in scans:
-            for info in scan.infrastructure.values():
-                self.categories.observe(info.asn, scan.country)
-
-        country_datasets: dict[str, CountryDataset] = {}
-        for scan in scans:
-            country_datasets[scan.country] = self._assemble_country(scan)
-        return GovernmentHostingDataset(
-            countries=country_datasets,
-            validation=self.geolocator.stats,
-        )
-
-    # ------------------------------------------------------------- internals
-
-    def _assemble_country(self, scan: _CountryScan) -> CountryDataset:
-        records: list[UrlRecord] = []
-        unresolved = sorted(
-            scan.outcome.government_hostnames - set(scan.infrastructure)
-        )
-        verdict_by_host: dict[str, object] = {}
-        category_by_host: dict[str, object] = {}
-        gov_by_host: dict[str, bool] = {}
+        Returns a picklable :class:`CountryPartial` holding everything
+        except hosting categories, which need the cross-country
+        footprint barrier (phase 2).
+        """
+        scan = self.scan_country(code)
+        country = scan.country
+        footprint = ProviderFootprint()
+        hosts: dict[str, HostAnnotation] = {}
+        verdicts: list[GeoVerdict] = []
+        host_verdicts = self._host_verdicts
+        is_government = self.ownership.is_government
+        locate = self.geolocator.locate
         for hostname, info in scan.infrastructure.items():
-            verdict = self.geolocator.locate(info.address, scan.country)
-            verdict_by_host[hostname] = verdict
-            gov_by_host[hostname] = self.ownership.is_government(info.asn)
-            category_by_host[hostname] = self.categories.categorize(
-                info.asn, info.registered_country, scan.country
-            )
-
-        for url, via in scan.outcome.accepted.items():
-            entry = scan.crawl.archive.get(url)
-            info = scan.infrastructure.get(entry.hostname)
-            if info is None:
-                continue
-            verdict = verdict_by_host[entry.hostname]
-            records.append(UrlRecord(
-                url=url,
-                hostname=entry.hostname,
-                country=scan.country,
-                size_bytes=entry.size_bytes,
-                via=via,
-                depth=scan.crawl.depth_of.get(url, 0),
+            key = (hostname, country)
+            verdict = host_verdicts.get(key)
+            if verdict is None:
+                verdict = locate(info.address, country)
+                host_verdicts[key] = verdict
+            verdicts.append(verdict)
+            footprint.observe(info.asn, country)
+            hosts[hostname] = HostAnnotation(
                 address=info.address,
                 asn=info.asn,
                 organization=info.organization,
                 registered_country=info.registered_country,
-                gov_operated=gov_by_host[entry.hostname],
-                category=category_by_host[entry.hostname],
+                gov_operated=is_government(info.asn),
                 server_country=verdict.country,
                 anycast=verdict.anycast,
                 validation=verdict.method,
+            )
+
+        urls: list[UrlObservation] = []
+        append = urls.append
+        archive_get = scan.crawl.archive.get
+        depth_get = scan.crawl.depth_of.get
+        for url, via in scan.outcome.accepted.items():
+            entry = archive_get(url)
+            if entry.hostname in hosts:
+                append((url, entry.hostname, entry.size_bytes, via,
+                        depth_get(url, 0)))
+
+        return CountryPartial(
+            country=country,
+            landing_count=scan.landing_count,
+            discarded_url_count=len(scan.outcome.discarded),
+            unresolved_hostnames=sorted(
+                scan.outcome.government_hostnames - set(scan.infrastructure)
+            ),
+            depth_histogram=scan.crawl.depth_histogram(),
+            hosts=hosts,
+            urls=urls,
+            verdicts=tuple(verdicts),
+            footprint=footprint,
+        )
+
+    def finalize_country(self, partial: CountryPartial) -> CountryDataset:
+        """Phase 2 for one country: categorize hosts, assemble records.
+
+        Requires :meth:`CategoryClassifier.ingest` (or ``observe``) to
+        have absorbed the *global* footprint first — the Global-provider
+        definition spans countries.
+        """
+        country = partial.country
+        categorize = self.categories.categorize
+        hosts = partial.hosts
+        category_by_host = {
+            hostname: categorize(note.asn, note.registered_country, country)
+            for hostname, note in hosts.items()
+        }
+        records: list[UrlRecord] = []
+        append = records.append
+        for url, hostname, size_bytes, via, depth in partial.urls:
+            note = hosts[hostname]
+            append(UrlRecord(
+                url, hostname, country, size_bytes, via, depth,
+                note.address, note.asn, note.organization,
+                note.registered_country, note.gov_operated,
+                category_by_host[hostname], note.server_country,
+                note.anycast, note.validation,
             ))
         return CountryDataset(
-            country=scan.country,
-            landing_count=scan.landing_count,
+            country=country,
+            landing_count=partial.landing_count,
             records=records,
-            discarded_url_count=len(scan.outcome.discarded),
-            unresolved_hostnames=unresolved,
-            depth_histogram=scan.crawl.depth_histogram(),
+            discarded_url_count=partial.discarded_url_count,
+            unresolved_hostnames=partial.unresolved_hostnames,
+            depth_histogram=partial.depth_histogram,
+        )
+
+    def run(
+        self,
+        countries: Optional[Sequence[str]] = None,
+        executor: Optional[ExecutionStrategy] = None,
+    ) -> GovernmentHostingDataset:
+        """Run the full pipeline and assemble the dataset.
+
+        ``executor`` selects the execution strategy for the per-country
+        work (default: :class:`~repro.exec.SerialExecutor`).  Every
+        strategy yields an identical dataset; callers that pass their
+        own executor also own its lifetime (call ``close()`` when done,
+        the pool is reusable across runs).
+        """
+        codes = [c.upper() for c in countries] if countries else self.world.country_codes()
+        strategy = executor or SerialExecutor()
+
+        # Phase 1: independent per-country scans, fanned out.
+        partials = strategy.scan(self, codes)
+
+        # Barrier: cross-country reductions, merged deterministically.
+        self.categories.ingest(merge_footprints(partials))
+        validation = merge_validation(partials)
+
+        # Phase 2: categorize + record assembly, parallelizable again.
+        finalized = strategy.finalize(self, partials, self.finalize_country)
+        return GovernmentHostingDataset(
+            countries={dataset.country: dataset for dataset in finalized},
+            validation=validation,
         )
 
 

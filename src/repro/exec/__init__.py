@@ -1,0 +1,60 @@
+"""Pluggable execution layer for the measurement pipeline.
+
+``Pipeline.run(countries, executor=...)`` accepts any
+:class:`~repro.exec.base.ExecutionStrategy`:
+
+* :class:`SerialExecutor` — one country after another (default);
+* :class:`ThreadExecutor` — a thread pool sharing the driver's world;
+* :class:`ProcessExecutor` — a process pool whose workers rebuild the
+  world deterministically from its ``WorldConfig``.
+
+All strategies produce **bit-identical** datasets: per-country work is
+independent, and the two cross-country reductions (provider footprints,
+validation stats) are merged with order-independent functions in
+:mod:`repro.exec.partials`.
+"""
+
+from typing import Optional
+
+from repro.exec.base import ExecutionStrategy
+from repro.exec.partials import (
+    CountryPartial,
+    HostAnnotation,
+    merge_footprints,
+    merge_validation,
+)
+from repro.exec.processes import ProcessExecutor
+from repro.exec.serial import SerialExecutor
+from repro.exec.threads import ThreadExecutor
+
+#: CLI names of the available strategies.
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+
+def make_executor(
+    name: str, workers: Optional[int] = None
+) -> ExecutionStrategy:
+    """Build a strategy from its CLI name (``--executor``/``--workers``)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadExecutor(workers=workers)
+    if name == "processes":
+        return ProcessExecutor(workers=workers)
+    raise ValueError(
+        f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+    )
+
+
+__all__ = [
+    "ExecutionStrategy",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "CountryPartial",
+    "HostAnnotation",
+    "merge_footprints",
+    "merge_validation",
+    "EXECUTOR_NAMES",
+    "make_executor",
+]

@@ -1,0 +1,59 @@
+"""Execution strategies for the measurement pipeline.
+
+A strategy answers two questions: how to fan the per-country phase-1
+scans out over workers, and how to run the cheap phase-2 finalization
+(categorize + record assembly) once the cross-country barrier has been
+resolved.  Strategies never decide *what* to compute — the pipeline
+does — and every strategy must return phase-1 partials in submission
+order so the driver's merges are deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.exec.partials import CountryPartial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.core.pipeline import Pipeline
+
+T = TypeVar("T")
+
+
+class ExecutionStrategy(abc.ABC):
+    """How per-country pipeline work is scheduled onto workers."""
+
+    #: Human-readable strategy name (CLI value, log labels).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def scan(
+        self, pipeline: "Pipeline", codes: Sequence[str]
+    ) -> list[CountryPartial]:
+        """Run phase 1 for every country, returning partials in the
+        order of ``codes`` regardless of completion order."""
+
+    def finalize(
+        self,
+        pipeline: "Pipeline",
+        partials: Sequence[CountryPartial],
+        finalize_one: Callable[[CountryPartial], T],
+    ) -> list[T]:
+        """Run phase 2 over the partials (default: in order, inline)."""
+        return [finalize_one(partial) for partial in partials]
+
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process strategies)."""
+
+    def __enter__(self) -> "ExecutionStrategy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+__all__ = ["ExecutionStrategy"]

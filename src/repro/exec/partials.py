@@ -1,0 +1,113 @@
+"""Picklable per-country partial results and their deterministic merges.
+
+The pipeline's per-country phase-1 work (crawl, filter, map, geolocate)
+has no cross-country data dependency, so executors run it in any order
+and on any number of workers.  Two reductions *do* cross countries:
+
+* the :class:`~repro.core.classification.ProviderFootprint` every AS
+  accumulates (the paper's Global-provider definition needs the full
+  footprint before categories can be assigned), and
+* the Table 4 :class:`~repro.core.geolocation.ValidationStats`, which
+  count each server address exactly once.
+
+Both are merged here with explicitly order-independent functions: the
+footprint is a set union, and the validation tally is *replayed* in
+canonical country order from the per-country verdict sequences, so the
+result is bit-identical to a serial run no matter how the phase-1 work
+was sharded or in which order shards completed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+from repro.core.classification import ProviderFootprint
+from repro.core.geolocation import GeoVerdict, ValidationMethod, ValidationStats
+from repro.core.urlfilter import FilterVia
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class HostAnnotation:
+    """Per-hostname phase-1 facts (everything but the hosting category)."""
+
+    address: int
+    asn: int
+    organization: str
+    registered_country: str
+    gov_operated: bool
+    server_country: Optional[str]
+    anycast: bool
+    validation: ValidationMethod
+
+
+#: Compact per-URL observation: (url, hostname, size_bytes, via, depth).
+UrlObservation = tuple[str, str, int, FilterVia, int]
+
+
+@dataclasses.dataclass
+class CountryPartial:
+    """Everything phase-1 learned about one country.
+
+    Picklable, so process workers can ship it back to the driver; small,
+    because URLs are stored as tuples and per-host facts are factored
+    out of the per-URL rows.
+    """
+
+    country: str
+    landing_count: int
+    discarded_url_count: int
+    unresolved_hostnames: list[str]
+    depth_histogram: dict[int, int]
+    #: Phase-1 annotations per confirmed government hostname.
+    hosts: dict[str, HostAnnotation]
+    #: Accepted URLs, in archive order.
+    urls: list[UrlObservation]
+    #: Geolocation verdicts in deterministic (sorted-hostname) order,
+    #: one per resolved hostname — the replay input for the stats merge.
+    verdicts: tuple[GeoVerdict, ...]
+    #: Continental footprint observed by this country alone.
+    footprint: ProviderFootprint
+
+
+def merge_footprints(partials: Iterable[CountryPartial]) -> ProviderFootprint:
+    """Union of the per-country footprints (order-independent)."""
+    merged = ProviderFootprint()
+    for partial in partials:
+        merged = merged.merge(partial.footprint)
+    return merged
+
+
+def merge_validation(partials: Sequence[CountryPartial]) -> ValidationStats:
+    """Replay the Table 4 tally over per-country verdict sequences.
+
+    ``partials`` must be in canonical country order (the order the
+    countries were submitted, which is also the order a serial run
+    processes them).  Each address is counted once, at its first
+    appearance in that canonical traversal — exactly the serial
+    geolocator's count-on-first-observation rule — so the merged stats
+    are identical to a serial run regardless of how the scan phase was
+    sharded.  Internally the reduction is a sum of per-country deltas
+    via :meth:`ValidationStats.merge`, which is associative with
+    identity ``ValidationStats()``.
+    """
+    counted: set[int] = set()
+    total = ValidationStats()
+    for partial in partials:
+        delta = ValidationStats()
+        for verdict in partial.verdicts:
+            if verdict.address in counted:
+                continue
+            counted.add(verdict.address)
+            delta.tally(verdict)
+        total = total.merge(delta)
+    return total
+
+
+__all__ = [
+    "HostAnnotation",
+    "UrlObservation",
+    "CountryPartial",
+    "merge_footprints",
+    "merge_validation",
+]

@@ -1,0 +1,115 @@
+"""Process-pool execution strategy.
+
+Sidesteps the GIL for the CPU-bound scan phase.  Worker processes do
+not receive the (unpicklable) synthetic world; each one deterministically
+*rebuilds* it from the pipeline's :class:`~repro.datagen.config.WorldConfig`
+in the pool initializer — world generation is a pure function of its
+config — and keeps a private :class:`~repro.core.pipeline.Pipeline` for
+the life of the pool.  Workers return picklable
+:class:`~repro.exec.partials.CountryPartial` objects; all cross-country
+state (provider footprints, validation stats) is merged on the driver.
+
+The per-worker rebuild is a fixed cost amortized over the worker's
+whole shard, so processes win once the scan work dwarfs world
+generation (large scales, many countries); below that, threads or
+serial execution are faster.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
+
+from repro.datagen.config import WorldConfig
+from repro.exec.base import ExecutionStrategy
+from repro.exec.partials import CountryPartial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import Pipeline
+
+T = TypeVar("T")
+
+#: The rebuilt pipeline of the current worker process.
+_WORKER_PIPELINE: Optional["Pipeline"] = None
+
+
+def _init_worker(config: WorldConfig, max_depth: int) -> None:
+    """Pool initializer: rebuild the world and pipeline once per worker."""
+    global _WORKER_PIPELINE
+    from repro.core.pipeline import Pipeline
+    from repro.datagen.generator import SyntheticWorld
+
+    world = SyntheticWorld.generate(config)
+    _WORKER_PIPELINE = Pipeline(world, max_depth=max_depth)
+
+
+def _scan_one(code: str) -> CountryPartial:
+    """Worker task: phase 1 for a single country."""
+    assert _WORKER_PIPELINE is not None, "worker initializer did not run"
+    return _WORKER_PIPELINE.scan_partial(code)
+
+
+class ProcessExecutor(ExecutionStrategy):
+    """Fans per-country work out over a ``ProcessPoolExecutor``."""
+
+    name = "processes"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.workers = workers or os.cpu_count() or 1
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_key: Optional[tuple[WorldConfig, int]] = None
+
+    def _ensure_pool(
+        self, config: WorldConfig, max_depth: int
+    ) -> concurrent.futures.ProcessPoolExecutor:
+        key = (config, max_depth)
+        if self._pool is not None and self._pool_key != key:
+            # The pool's workers hold a pipeline for a different world.
+            self.close()
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(config, max_depth),
+            )
+            self._pool_key = key
+        return self._pool
+
+    def scan(
+        self, pipeline: "Pipeline", codes: Sequence[str]
+    ) -> list[CountryPartial]:
+        if not pipeline.supports_process_execution:
+            raise ValueError(
+                "ProcessExecutor requires the pipeline's default geolocator; "
+                "custom geolocator configurations cannot be rebuilt inside "
+                "worker processes — use SerialExecutor or ThreadExecutor"
+            )
+        pool = self._ensure_pool(pipeline.world.config, pipeline.crawler.max_depth)
+        # map preserves submission order, so merges stay deterministic.
+        return list(pool.map(_scan_one, codes))
+
+    def finalize(
+        self,
+        pipeline: "Pipeline",
+        partials: Sequence[CountryPartial],
+        finalize_one: Callable[[CountryPartial], T],
+    ) -> list[T]:
+        # Phase 2 needs the driver's merged footprint and is cheap
+        # relative to the scan; a thread map avoids re-shipping the
+        # partials across the process boundary.
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.workers, 8), thread_name_prefix="repro-finalize"
+        ) as pool:
+            return list(pool.map(finalize_one, partials))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+
+__all__ = ["ProcessExecutor"]

@@ -1,0 +1,69 @@
+"""Thread-pool execution strategy.
+
+Shares the driver's :class:`~repro.core.pipeline.Pipeline` across
+threads: the scan phase only *reads* the synthetic world, and every
+cache it touches (DNS, WHOIS, ping memo, geolocation verdicts) is a
+pure memo — concurrent fills can at worst duplicate work, never change
+a value.  Cross-country reductions happen on the driver after the
+barrier, so no shared accumulator is mutated from workers.
+
+Threads help when the scan blocks on I/O-like layers; for the fully
+CPU-bound synthetic scan the GIL caps the speedup, which is why
+:class:`~repro.exec.processes.ProcessExecutor` exists.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
+
+from repro.exec.base import ExecutionStrategy
+from repro.exec.partials import CountryPartial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import Pipeline
+
+T = TypeVar("T")
+
+
+class ThreadExecutor(ExecutionStrategy):
+    """Fans per-country work out over a ``ThreadPoolExecutor``."""
+
+    name = "threads"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.workers = workers
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-scan"
+            )
+        return self._pool
+
+    def scan(
+        self, pipeline: "Pipeline", codes: Sequence[str]
+    ) -> list[CountryPartial]:
+        # Executor.map preserves submission order, so the driver's
+        # merges see partials in canonical country order even when
+        # shards complete out of order.
+        return list(self._ensure_pool().map(pipeline.scan_partial, codes))
+
+    def finalize(
+        self,
+        pipeline: "Pipeline",
+        partials: Sequence[CountryPartial],
+        finalize_one: Callable[[CountryPartial], T],
+    ) -> list[T]:
+        return list(self._ensure_pool().map(finalize_one, partials))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+__all__ = ["ThreadExecutor"]

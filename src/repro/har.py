@@ -9,12 +9,16 @@ aggregate bytes as well as URL counts).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, NamedTuple
 
 
-@dataclasses.dataclass(frozen=True)
-class HarEntry:
-    """One fetched object within a page load."""
+class HarEntry(NamedTuple):
+    """One fetched object within a page load.
+
+    A ``NamedTuple`` rather than a dataclass: crawls create hundreds of
+    thousands of entries per run and tuple construction is ~5x cheaper
+    than frozen-dataclass ``__init__``.
+    """
 
     url: str
     hostname: str

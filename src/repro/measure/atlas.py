@@ -15,6 +15,7 @@ import dataclasses
 import random
 from typing import Optional, Sequence
 
+from repro.datagen.seeds import derive_seed
 from repro.netsim.fabric import ServingFabric
 from repro.netsim.latency import LatencyModel
 from repro.world.cities import cities_of
@@ -66,7 +67,14 @@ class AtlasClient:
     ) -> None:
         self._fabric = fabric
         self._latency = latency
-        self._rng = rng
+        # Jitter is keyed per (probe, target) rather than drawn from a
+        # shared stream: a ping train's RTTs are then a pure function of
+        # the probe and address, independent of measurement order.  That
+        # property is what lets parallel pipeline shards reproduce the
+        # serial run bit-for-bit (repro.exec), and makes the ping memo
+        # below a sound cache rather than a behavior change.
+        self._seed = rng.getrandbits(64)
+        self._ping_cache: dict[tuple[int, int, int], PingResult] = {}
         self._probes: dict[str, list[AtlasProbe]] = {}
         next_id = 1
         for code in country_codes:
@@ -100,13 +108,25 @@ class AtlasClient:
         address: int,
         count: int = DEFAULT_PING_COUNT,
     ) -> PingResult:
-        """Send ``count`` pings from ``probe`` to ``address``."""
+        """Send ``count`` pings from ``probe`` to ``address`` (memoized)."""
+        key = (probe.probe_id, address, count)
+        cached = self._ping_cache.get(key)
+        if cached is not None:
+            return cached
         if not self._fabric.responds_to_ping(address):
-            return PingResult(probe=probe, address=address, rtts_ms=())
-        site = self._fabric.server_site(address, probe.lat, probe.lon)
-        distance = haversine_km(probe.lat, probe.lon, site.lat, site.lon)
-        rtts = tuple(self._latency.rtt_for_distance(distance) for _ in range(count))
-        return PingResult(probe=probe, address=address, rtts_ms=rtts)
+            result = PingResult(probe=probe, address=address, rtts_ms=())
+        else:
+            site = self._fabric.server_site(address, probe.lat, probe.lon)
+            distance = haversine_km(probe.lat, probe.lon, site.lat, site.lon)
+            rng = random.Random(
+                derive_seed(self._seed, "ping", probe.probe_id, address)
+            )
+            rtts = tuple(
+                self._latency.rtt_for_distance(distance, rng) for _ in range(count)
+            )
+            result = PingResult(probe=probe, address=address, rtts_ms=rtts)
+        self._ping_cache[key] = result
+        return result
 
     def min_rtt_from_country(
         self,

@@ -11,6 +11,7 @@ intercontinental pings do not.
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 #: One-way propagation speed in fiber, km per millisecond.
 FIBER_KM_PER_MS = 200.0
@@ -49,10 +50,20 @@ class LatencyModel:
         distance = haversine_km(lat1, lon1, lat2, lon2)
         return self.rtt_for_distance(distance)
 
-    def rtt_for_distance(self, distance_km: float) -> float:
-        """One RTT sample for a known distance."""
+    def rtt_for_distance(
+        self, distance_km: float, rng: Optional[random.Random] = None
+    ) -> float:
+        """One RTT sample for a known distance.
+
+        ``rng`` overrides the model's own jitter stream; callers that
+        need order-independent samples (e.g. the Atlas client keying
+        jitter per probe/target pair) pass a derived generator so the
+        sample does not depend on how many draws happened before it.
+        """
         base = propagation_rtt_ms(distance_km)
-        jitter = self._rng.expovariate(1.0 / self._jitter_ms) if self._jitter_ms > 0 else 0.0
+        if self._jitter_ms <= 0:
+            return base
+        jitter = (rng or self._rng).expovariate(1.0 / self._jitter_ms)
         return base + jitter
 
 

@@ -8,7 +8,13 @@ registries such as ``com.ar`` or ``co.uk``).
 
 from __future__ import annotations
 
+import functools
 from urllib.parse import urlsplit
+
+#: Upper bound on the hostname/domain memo tables.  URL corpora repeat a
+#: small set of hostnames thousands of times, so the caches stay tiny in
+#: practice; the bound only guards pathological inputs.
+_CACHE_SIZE = 65536
 
 #: Second-level labels under which ccTLD registries delegate names; a domain
 #: like ``example.com.ar`` has registrable domain ``example.com.ar``, not
@@ -19,8 +25,10 @@ _CC_SECOND_LEVEL = {
 }
 
 
+@functools.lru_cache(maxsize=_CACHE_SIZE)
 def hostname_of(url: str) -> str:
-    """Lower-cased hostname of a URL.
+    """Lower-cased hostname of a URL (memoized — ``urlsplit`` dominates
+    filter time when the same URL or hostname recurs).
 
     Raises :class:`ValueError` for URLs without a network location.
     """
@@ -35,6 +43,7 @@ def path_of(url: str) -> str:
     return urlsplit(url).path or "/"
 
 
+@functools.lru_cache(maxsize=_CACHE_SIZE)
 def registrable_domain(hostname: str) -> str:
     """The 2LD+TLD a user could register (Appendix D's "2LD").
 

@@ -39,24 +39,13 @@ class Browser:
         the crawler decides how to handle them.
         """
         page = self._web.fetch(url, vantage.country)
-        entries = [
-            HarEntry(
-                url=page.url,
-                hostname=page.hostname,
-                size_bytes=page.size_bytes,
-                content_type="text/html",
-            )
-        ]
-        for resource in page.resources:
-            entries.append(
-                HarEntry(
-                    url=resource.url,
-                    hostname=resource.hostname,
-                    size_bytes=resource.size_bytes,
-                    content_type=resource.content_type,
-                )
-            )
-        return PageLoad(url=url, entries=tuple(entries), links=page.links)
+        entries = (
+            HarEntry(page.url, page.hostname, page.size_bytes, "text/html"),
+        ) + tuple(
+            HarEntry(r.url, r.hostname, r.size_bytes, r.content_type)
+            for r in page.resources
+        )
+        return PageLoad(url=url, entries=entries, links=page.links)
 
 
 __all__ = ["PageLoad", "Browser"]

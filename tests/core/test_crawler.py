@@ -82,3 +82,18 @@ def test_page_loads_counted(world):
     result = _crawl(world, "UY")
     assert result.page_loads > 0
     assert result.page_loads <= len(result.archive)
+
+
+def test_depth_histogram_matches_reference_loop(world):
+    """The Counter-based histogram equals the original dict-accumulation
+    implementation on a real crawled archive."""
+    result = _crawl(world, "BR")
+    reference = {}
+    for depth in result.depth_of.values():
+        reference[depth] = reference.get(depth, 0) + 1
+    reference = dict(sorted(reference.items()))
+    histogram = result.depth_histogram()
+    assert histogram == reference
+    # Sorted ascending by depth, and accounts for every URL.
+    assert list(histogram) == sorted(histogram)
+    assert sum(histogram.values()) == len(result.depth_of)

@@ -66,3 +66,18 @@ def test_category_enum():
                      HostingCategory.P3_GLOBAL):
         assert category.is_third_party
     assert str(HostingCategory.GOVT_SOE) == "Govt&SOE"
+
+
+def test_hostname_of_is_memoized():
+    hostname_of.cache_clear()
+    assert hostname_of("https://memo.gov.br/x") == "memo.gov.br"
+    before = hostname_of.cache_info().hits
+    assert hostname_of("https://memo.gov.br/x") == "memo.gov.br"
+    assert hostname_of.cache_info().hits == before + 1
+
+
+def test_hostname_of_errors_are_not_cached():
+    with pytest.raises(ValueError):
+        hostname_of("/relative/path")
+    with pytest.raises(ValueError):
+        hostname_of("/relative/path")
