@@ -8,7 +8,7 @@ Figure 11 boxplots and the 63%-vs-32% single-network finding.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.categories import HostingCategory
 from repro.core.dataset import CountryDataset, GovernmentHostingDataset
@@ -50,10 +50,22 @@ def country_network_hhi(
 
 def dominant_category(
     country_dataset: CountryDataset,
-) -> HostingCategory:
-    """Predominant source of a country's bytes (Figure 11 grouping)."""
+) -> Optional[HostingCategory]:
+    """Predominant source of a country's bytes (Figure 11 grouping).
+
+    Returns ``None`` for countries with no byte mass (no records, or
+    only zero-size responses).  Ties break deterministically in favour
+    of the category declared first in :class:`HostingCategory`, never by
+    dict insertion order.
+    """
     mix = country_dataset.category_byte_fractions()
-    return max(mix, key=lambda category: mix[category])
+    if not any(mix.values()):
+        return None
+    best = max(mix.values())
+    for category in HostingCategory:
+        if mix.get(category, 0.0) == best:
+            return category
+    return None  # pragma: no cover - mix keys are always HostingCategory
 
 
 def hhi_by_dominant_category(
@@ -64,9 +76,9 @@ def hhi_by_dominant_category(
     groups: dict[HostingCategory, list[float]] = {}
     for code, value in values.items():
         country_dataset = dataset.countries[code]
-        if not country_dataset.records:
-            continue
         group = dominant_category(country_dataset)
+        if group is None:
+            continue
         groups.setdefault(group, []).append(value)
     return groups
 
@@ -82,12 +94,12 @@ def single_network_dependence(
     """
     result: dict[HostingCategory, tuple[int, int]] = {}
     for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
+        group = dominant_category(country_dataset)
+        if group is None:
             continue
         shares = _network_shares(country_dataset, by_bytes=True)
         total = sum(shares.values())
         top_share = max(shares.values()) / total if total else 0.0
-        group = dominant_category(country_dataset)
         above, size = result.get(group, (0, 0))
         result[group] = (above + (1 if top_share > threshold else 0), size + 1)
     return result

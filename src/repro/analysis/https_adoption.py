@@ -45,11 +45,12 @@ def country_https_adoption(
                 continue
             have += 1
             valid += certificate.valid
+        count = len(hostnames)
         reports[code] = HttpsReport(
             country=code,
-            hostnames=len(hostnames),
-            with_certificate=have / len(hostnames),
-            with_valid_certificate=valid / len(hostnames),
+            hostnames=count,
+            with_certificate=have / count if count else 0.0,
+            with_valid_certificate=valid / count if count else 0.0,
             egdi=get_country(code).egdi,
         )
     return reports

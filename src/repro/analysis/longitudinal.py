@@ -52,9 +52,13 @@ def compare_snapshots(
 
 
 def trend_summary(deltas: dict[str, CountryDelta]) -> dict[str, float]:
-    """Aggregate trend: mean delta and the share of countries increasing."""
+    """Aggregate trend: mean delta and the share of countries increasing.
+
+    Snapshots with no overlapping measured countries yield the
+    well-defined empty trend (all zeros) rather than an exception.
+    """
     if not deltas:
-        raise ValueError("no overlapping countries between snapshots")
+        return {"mean_delta": 0.0, "share_increasing": 0.0, "countries": 0.0}
     values = [d.delta for d in deltas.values()]
     increasing = sum(1 for v in values if v > 0)
     return {

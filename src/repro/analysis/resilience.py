@@ -45,7 +45,7 @@ def outage_impact(
         impacts[code] = OutageImpact(
             country=code,
             asn=asn,
-            url_share_lost=lost_urls / total_urls,
+            url_share_lost=lost_urls / total_urls if total_urls else 0.0,
             byte_share_lost=lost_bytes / total_bytes if total_bytes else 0.0,
         )
     return impacts

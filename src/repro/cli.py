@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from repro import Pipeline, SyntheticWorld, WorldConfig
 from repro.exec import EXECUTOR_NAMES, make_executor
+from repro.faults import FAULT_PROFILE_NAMES
 from repro.reporting.tables import render_table
 
 _SECTIONS = ("summary", "global", "regional", "domestic", "providers",
@@ -50,6 +51,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="worker count for parallel executors "
                           "(default: the machine's CPU count)")
+    run.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                     help="probability in [0, 1] that a measurement "
+                          "operation fails and must be retried or degraded "
+                          "(default: 0, no fault injection)")
+    run.add_argument("--fault-profile", choices=FAULT_PROFILE_NAMES,
+                     default="mixed",
+                     help="which fault domains the rate applies to "
+                          "(default: mixed)")
+    run.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
+                     help="seed for fault decisions (default: derived "
+                          "from --seed, so faulted runs stay reproducible)")
 
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset"
@@ -70,6 +82,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = WorldConfig(
         seed=args.seed, scale=args.scale,
         countries=args.countries or None,
+        fault_rate=args.fault_rate,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
     )
     world = SyntheticWorld.generate(config)
     executor_name = args.executor
@@ -84,6 +99,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"measured {summary.total_unique_urls:,} URLs over "
           f"{summary.unique_hostnames:,} hostnames "
           f"({summary.ases} ASes, {summary.unique_addresses} addresses)")
+    if dataset.faults.countries:
+        from repro.reporting.faults import render_fault_report
+
+        print(render_fault_report(dataset.faults))
     if args.out:
         from repro.io import save_dataset
 

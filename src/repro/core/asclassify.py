@@ -22,7 +22,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import re
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 
 from repro.core.urlfilter import GOV_TLD_TOKENS
 from repro.measure.peeringdb import PeeringDb
@@ -91,8 +94,21 @@ class GovernmentASClassifier:
         self._websearch = websearch
         self._cache: dict[int, OwnershipVerdict] = {}
 
-    def classify(self, asn: int) -> OwnershipVerdict:
-        """Classify one AS; results are memoized."""
+    def classify(
+        self, asn: int, faults: Optional["FaultSession"] = None
+    ) -> OwnershipVerdict:
+        """Classify one AS; results are memoized.
+
+        Under fault injection the PeeringDB fetch can fail, making the
+        verdict specific to the scanning country's session — those
+        verdicts are memoized on the session, never in the shared cache.
+        """
+        if faults is not None:
+            cached = faults.ownership_memo.get(asn)
+            if cached is None:
+                cached = self._classify_uncached(asn, faults)
+                faults.ownership_memo[asn] = cached
+            return cached
         cached = self._cache.get(asn)
         if cached is not None:
             return cached
@@ -100,13 +116,17 @@ class GovernmentASClassifier:
         self._cache[asn] = verdict
         return verdict
 
-    def is_government(self, asn: int) -> bool:
+    def is_government(
+        self, asn: int, faults: Optional["FaultSession"] = None
+    ) -> bool:
         """Convenience wrapper over :meth:`classify`."""
-        return self.classify(asn).is_government
+        return self.classify(asn, faults=faults).is_government
 
-    def _classify_uncached(self, asn: int) -> OwnershipVerdict:
+    def _classify_uncached(
+        self, asn: int, faults: Optional["FaultSession"] = None
+    ) -> OwnershipVerdict:
         # Step 1: PeeringDB text fields.
-        record = self._peeringdb.lookup(asn)
+        record = self._peeringdb.lookup(asn, faults=faults)
         websites: list[str] = []
         if record is not None:
             if any(_text_has_gov_keyword(field) for field in record.text_fields()):

@@ -14,6 +14,7 @@ from typing import Iterator, NamedTuple, Optional
 from repro.categories import HostingCategory
 from repro.core.geolocation import ValidationMethod, ValidationStats
 from repro.core.urlfilter import FilterVia
+from repro.faults.report import FaultReport
 
 
 class UrlRecord(NamedTuple):
@@ -136,6 +137,9 @@ class GovernmentHostingDataset:
 
     countries: dict[str, CountryDataset]
     validation: ValidationStats
+    #: Fault-injection accounting for the run that produced the dataset
+    #: (empty for unfaulted runs — the overwhelmingly common case).
+    faults: FaultReport = dataclasses.field(default_factory=FaultReport)
 
     def iter_records(self) -> Iterator[UrlRecord]:
         """Every record across all countries."""

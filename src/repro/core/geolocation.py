@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.measure.atlas import AtlasClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 from repro.measure.hoiho import HoihoExtractor
 from repro.measure.ipinfo import IpInfoDatabase
 from repro.measure.ipmap import IpMapCache
@@ -188,8 +191,35 @@ class Geolocator:
         """Step 2: whether the MAnycast2 snapshot flags the address."""
         return self._manycast.is_anycast(address)
 
-    def locate(self, address: int, vantage_country: str) -> GeoVerdict:
-        """Geolocate an address observed by ``vantage_country``'s crawl."""
+    def locate(
+        self,
+        address: int,
+        vantage_country: str,
+        faults: Optional["FaultSession"] = None,
+    ) -> GeoVerdict:
+        """Geolocate an address observed by ``vantage_country``'s crawl.
+
+        With a fault session, every measurement feeding the process —
+        IPInfo queries, Atlas pings, the single-radius fallback — is
+        subject to injected failures; unrecoverable ones degrade into
+        the existing :attr:`ValidationMethod.UNRESOLVED` / exclusion
+        paths.  Faulted verdicts are country-scoped (each national crawl
+        does its own lookups), so they are memoized on the session and
+        never written to the shared caches or the serial stats tally:
+        Table 4 accounting happens exclusively in the driver's replay.
+        """
+        if faults is not None:
+            cached = faults.verdict_memo.get(address)
+            if cached is not None:
+                return cached
+            if self.is_anycast(address):
+                verdict = self._anycast_verdict(
+                    address, vantage_country, faults=faults
+                )
+            else:
+                verdict = self._locate_unicast_uncached(address, faults=faults)
+            faults.verdict_memo[address] = verdict
+            return verdict
         if self.is_anycast(address):
             return self.locate_anycast(address, vantage_country)
         return self.locate_unicast(address)
@@ -210,25 +240,34 @@ class Geolocator:
         cached = self._anycast_cache.get(key)
         if cached is not None:
             return cached
-        rtt = self._atlas.min_rtt_from_country(country, address)
-        within = rtt is not None and rtt < self._threshold(country)
-        if within:
-            verdict = GeoVerdict(
-                address=address, country=country,
-                method=ValidationMethod.ACTIVE_PROBING, anycast=True,
-                claimed_country=self._ipinfo.country_of(address),
-            )
-        else:
-            verdict = GeoVerdict(
-                address=address, country=None,
-                method=ValidationMethod.UNRESOLVED, anycast=True,
-                claimed_country=self._ipinfo.country_of(address),
-            )
+        verdict = self._anycast_verdict(address, country)
         self._anycast_cache[key] = verdict
         if address not in self._counted:
             self._counted.add(address)
             self.stats.tally(verdict)
         return verdict
+
+    def _anycast_verdict(
+        self,
+        address: int,
+        country: str,
+        faults: Optional["FaultSession"] = None,
+    ) -> GeoVerdict:
+        """In-country probing of an anycast address (no caching/tallying)."""
+        rtt = self._atlas.min_rtt_from_country(country, address, faults=faults)
+        within = rtt is not None and rtt < self._threshold(country)
+        claimed = self._ipinfo.country_of(address, faults=faults)
+        if within:
+            return GeoVerdict(
+                address=address, country=country,
+                method=ValidationMethod.ACTIVE_PROBING, anycast=True,
+                claimed_country=claimed,
+            )
+        return GeoVerdict(
+            address=address, country=None,
+            method=ValidationMethod.UNRESOLVED, anycast=True,
+            claimed_country=claimed,
+        )
 
     # ------------------------------------------------------------- internals
 
@@ -243,17 +282,20 @@ class Geolocator:
             self._thresholds[country] = threshold
         return threshold
 
-    def _locate_unicast_uncached(self, address: int) -> GeoVerdict:
-        claimed = self._ipinfo.country_of(address)
+    def _locate_unicast_uncached(
+        self, address: int, faults: Optional["FaultSession"] = None
+    ) -> GeoVerdict:
+        claimed = self._ipinfo.country_of(address, faults=faults)
         if claimed is not None and self._enable_ap:
-            rtt = self._atlas.min_rtt_from_country(claimed, address)
+            rtt = self._atlas.min_rtt_from_country(claimed, address,
+                                                   faults=faults)
             if rtt is not None and rtt < self._threshold(claimed):
                 return GeoVerdict(
                     address=address, country=claimed,
                     method=ValidationMethod.ACTIVE_PROBING, anycast=False,
                     claimed_country=claimed,
                 )
-        hint = self._multistage_hint(address)
+        hint = self._multistage_hint(address, faults=faults)
         if hint is None:
             return GeoVerdict(
                 address=address, country=None,
@@ -273,7 +315,9 @@ class Geolocator:
             claimed_country=claimed,
         )
 
-    def _multistage_hint(self, address: int) -> Optional[str]:
+    def _multistage_hint(
+        self, address: int, faults: Optional["FaultSession"] = None
+    ) -> Optional[str]:
         """Step 4: HOIHO, then IPmap, then single-radius probing."""
         if self._enable_hoiho:
             hint = self._hoiho.country_hint(address)
@@ -284,7 +328,7 @@ class Geolocator:
             if hint is not None:
                 return hint
         if self._enable_single_radius:
-            best = self._atlas.nearest_probe_rtt(address)
+            best = self._atlas.nearest_probe_rtt(address, faults=faults)
             if best is not None and best.min_rtt_ms is not None:
                 if best.min_rtt_ms < self._single_radius_ms:
                     return best.probe.country

@@ -8,11 +8,14 @@ organization and country of registration -- the Table 2 record.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.measure.vpn import VantagePoint
 from repro.netsim.dns import DnsError, Resolver
 from repro.netsim.whois import WhoisService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,11 +38,27 @@ class InfrastructureMapper:
         self._resolver = resolver
         self._whois = whois
 
-    def map_host(self, hostname: str, vantage: VantagePoint) -> Optional[HostInfrastructure]:
-        """Infrastructure record for one hostname (None if unresolvable)."""
+    def map_host(
+        self,
+        hostname: str,
+        vantage: VantagePoint,
+        faults: Optional["FaultSession"] = None,
+    ) -> Optional[HostInfrastructure]:
+        """Infrastructure record for one hostname (None if unresolvable).
+
+        Injected DNS or WHOIS failures that exhaust their retries return
+        None like a genuine resolution failure, so the hostname degrades
+        into the country's unresolved tally instead of crashing the scan.
+        """
+        if faults is not None and faults.operation_fails("dns", hostname):
+            return None
         try:
             resolution = self._resolver.resolve(hostname, vantage.lat, vantage.lon)
         except DnsError:
+            return None
+        if faults is not None and faults.operation_fails(
+            "whois", resolution.address
+        ):
             return None
         try:
             whois_record = self._whois.query_ip(resolution.address)
@@ -55,12 +74,15 @@ class InfrastructureMapper:
         )
 
     def map_hosts(
-        self, hostnames: set[str], vantage: VantagePoint
+        self,
+        hostnames: set[str],
+        vantage: VantagePoint,
+        faults: Optional["FaultSession"] = None,
     ) -> dict[str, HostInfrastructure]:
         """Infrastructure records for a set of hostnames, skipping failures."""
         result: dict[str, HostInfrastructure] = {}
         for hostname in sorted(hostnames):
-            record = self.map_host(hostname, vantage)
+            record = self.map_host(hostname, vantage, faults=faults)
             if record is not None:
                 result[hostname] = record
         return result

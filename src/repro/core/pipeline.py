@@ -39,10 +39,12 @@ from repro.datagen.seeds import derive_rng
 from repro.exec import (
     ExecutionStrategy,
     SerialExecutor,
+    merge_faults,
     merge_footprints,
     merge_validation,
 )
 from repro.exec.partials import CountryPartial, HostAnnotation, UrlObservation
+from repro.faults import FaultPlan, FaultReport, FaultSession
 from repro.measure.atlas import AtlasClient
 from repro.netsim.latency import LatencyModel
 from repro.websim.browser import Browser
@@ -68,6 +70,7 @@ class Pipeline:
         world: SyntheticWorld,
         max_depth: int = DEFAULT_MAX_DEPTH,
         geolocator: Optional[Geolocator] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.world = world
         self.browser = Browser(world.web)
@@ -78,10 +81,16 @@ class Pipeline:
         )
         self.categories = CategoryClassifier(self.ownership)
         self.atlas = self._make_atlas(world)
+        #: The fault-injection plan (default: whatever the world's config
+        #: asks for, which is "no faults" unless ``fault_rate`` is set).
+        self.fault_plan = faults if faults is not None else FaultPlan.from_config(
+            world.config
+        )
         #: Whether worker processes can rebuild an equivalent pipeline
         #: from the world's config alone (False once a custom geolocator
-        #: is injected; its configuration cannot be shipped to workers).
-        self.supports_process_execution = geolocator is None
+        #: or fault plan is injected; their configuration cannot be
+        #: shipped to workers).
+        self.supports_process_execution = geolocator is None and faults is None
         self.geolocator = geolocator or Geolocator(
             ipinfo=world.ipinfo,
             manycast=world.manycast,
@@ -108,16 +117,27 @@ class Pipeline:
 
     # ------------------------------------------------------------------ runs
 
-    def scan_country(self, code: str) -> _CountryScan:
-        """Crawl, filter and map one country (phases 1-4)."""
+    def scan_country(
+        self, code: str, faults: Optional[FaultSession] = None
+    ) -> _CountryScan:
+        """Crawl, filter and map one country (phases 1-4).
+
+        A fault session makes the scan run over an unreliable substrate:
+        the VPN exit may flap (retried, then re-selected to an alternate
+        in-country exit) and DNS/WHOIS lookups may fail (hostnames
+        degrade into the unresolved tally).
+        """
         code = code.upper()
         directory = compile_directory(self.world, code)
-        vantage = self.world.vpn.vantage_for(code)
+        if faults is not None:
+            vantage = faults.select_vantage(self.world.vpn, code)
+        else:
+            vantage = self.world.vpn.vantage_for(code)
         crawl = self.crawler.crawl(list(directory.landing_urls), vantage)
         url_filter = GovernmentUrlFilter(directory, self.world.certificates)
         outcome = url_filter.run(crawl.archive)
         infrastructure = self.mapper.map_hosts(
-            outcome.government_hostnames, vantage
+            outcome.government_hostnames, vantage, faults=faults
         )
         return _CountryScan(
             country=code,
@@ -134,7 +154,12 @@ class Pipeline:
         except hosting categories, which need the cross-country
         footprint barrier (phase 2).
         """
-        scan = self.scan_country(code)
+        session = (
+            FaultSession(self.fault_plan, code)
+            if self.fault_plan.enabled
+            else None
+        )
+        scan = self.scan_country(code, faults=session)
         country = scan.country
         footprint = ProviderFootprint()
         hosts: dict[str, HostAnnotation] = {}
@@ -143,11 +168,17 @@ class Pipeline:
         is_government = self.ownership.is_government
         locate = self.geolocator.locate
         for hostname, info in scan.infrastructure.items():
-            key = (hostname, country)
-            verdict = host_verdicts.get(key)
-            if verdict is None:
-                verdict = locate(info.address, country)
-                host_verdicts[key] = verdict
+            if session is not None:
+                # Faulted verdicts are scoped to this country's session
+                # (its own memo dedupes repeat addresses); the shared
+                # cross-run cache only ever holds fault-free verdicts.
+                verdict = locate(info.address, country, faults=session)
+            else:
+                key = (hostname, country)
+                verdict = host_verdicts.get(key)
+                if verdict is None:
+                    verdict = locate(info.address, country)
+                    host_verdicts[key] = verdict
             verdicts.append(verdict)
             footprint.observe(info.asn, country)
             hosts[hostname] = HostAnnotation(
@@ -155,7 +186,7 @@ class Pipeline:
                 asn=info.asn,
                 organization=info.organization,
                 registered_country=info.registered_country,
-                gov_operated=is_government(info.asn),
+                gov_operated=is_government(info.asn, faults=session),
                 server_country=verdict.country,
                 anycast=verdict.anycast,
                 validation=verdict.method,
@@ -183,6 +214,7 @@ class Pipeline:
             urls=urls,
             verdicts=tuple(verdicts),
             footprint=footprint,
+            faults=session.report if session is not None else FaultReport(),
         )
 
     def finalize_country(self, partial: CountryPartial) -> CountryDataset:
@@ -247,6 +279,7 @@ class Pipeline:
         return GovernmentHostingDataset(
             countries={dataset.country: dataset for dataset in finalized},
             validation=validation,
+            faults=merge_faults(partials),
         )
 
 

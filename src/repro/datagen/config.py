@@ -33,6 +33,16 @@ class WorldConfig:
     #: snapshot; ~0.05 approximates one further year.
     third_party_drift: float = 0.0
 
+    # --- measurement-plane fault injection (repro.faults) -------------------
+    #: Base per-attempt failure probability of the fault injector; 0
+    #: disables injection entirely (byte-identical to an unfaulted run).
+    fault_rate: float = 0.0
+    #: Named fault profile scaling the base rate per fault domain.
+    fault_profile: str = "mixed"
+    #: Seed of the fault decision streams (None: derived from ``seed``),
+    #: so failures can vary while the generated world stays fixed.
+    fault_seed: Optional[int] = None
+
     # --- web structure -----------------------------------------------------
     #: Share of unique URLs found at each crawl depth (0 = landing page).
     #: Calibrated to "84% directly on landing pages, 95% within one level".
@@ -117,6 +127,17 @@ class WorldConfig:
                 raise ValueError(f"{name} must be a probability, got {value}")
         if self.ptr_city_rate + self.ptr_ntt_rate + self.ptr_opaque_rate > 1.0:
             raise ValueError("PTR dialect rates must sum to at most 1")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(
+                f"fault_rate must be a probability, got {self.fault_rate}"
+            )
+        from repro.faults.plan import FAULT_PROFILE_NAMES
+
+        if self.fault_profile not in FAULT_PROFILE_NAMES:
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r}; expected one "
+                f"of {', '.join(FAULT_PROFILE_NAMES)}"
+            )
 
     def country_codes(self) -> list[str]:
         """The country codes to generate (validated against the sample)."""

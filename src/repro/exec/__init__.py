@@ -20,6 +20,7 @@ from repro.exec.base import ExecutionStrategy
 from repro.exec.partials import (
     CountryPartial,
     HostAnnotation,
+    merge_faults,
     merge_footprints,
     merge_validation,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "ProcessExecutor",
     "CountryPartial",
     "HostAnnotation",
+    "merge_faults",
     "merge_footprints",
     "merge_validation",
     "EXECUTOR_NAMES",

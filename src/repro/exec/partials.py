@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.classification import ProviderFootprint
 from repro.core.geolocation import GeoVerdict, ValidationMethod, ValidationStats
 from repro.core.urlfilter import FilterVia
+from repro.faults.report import FaultReport, merge_fault_reports
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -68,6 +69,15 @@ class CountryPartial:
     verdicts: tuple[GeoVerdict, ...]
     #: Continental footprint observed by this country alone.
     footprint: ProviderFootprint
+    #: Fault accounting for this country's scan (empty when fault
+    #: injection is disabled); merged on the driver with
+    #: :func:`merge_faults` — a commutative monoid, like the footprint.
+    faults: FaultReport = dataclasses.field(default_factory=FaultReport)
+
+
+def merge_faults(partials: Iterable[CountryPartial]) -> FaultReport:
+    """Union of the per-country fault reports (order-independent)."""
+    return merge_fault_reports(partial.faults for partial in partials)
 
 
 def merge_footprints(partials: Iterable[CountryPartial]) -> ProviderFootprint:
@@ -108,6 +118,7 @@ __all__ = [
     "HostAnnotation",
     "UrlObservation",
     "CountryPartial",
+    "merge_faults",
     "merge_footprints",
     "merge_validation",
 ]

@@ -83,9 +83,10 @@ class ProcessExecutor(ExecutionStrategy):
     ) -> list[CountryPartial]:
         if not pipeline.supports_process_execution:
             raise ValueError(
-                "ProcessExecutor requires the pipeline's default geolocator; "
-                "custom geolocator configurations cannot be rebuilt inside "
-                "worker processes — use SerialExecutor or ThreadExecutor"
+                "ProcessExecutor requires the pipeline's default geolocator "
+                "and a config-derived fault plan; custom objects cannot be "
+                "rebuilt inside worker processes — use SerialExecutor or "
+                "ThreadExecutor"
             )
         pool = self._ensure_pool(pipeline.world.config, pipeline.crawler.max_depth)
         # map preserves submission order, so merges stay deterministic.

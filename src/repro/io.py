@@ -18,6 +18,7 @@ from repro.categories import HostingCategory
 from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
 from repro.core.geolocation import ValidationMethod, ValidationStats
 from repro.core.urlfilter import FilterVia
+from repro.faults.report import FaultReport
 
 #: Format marker written into every export header.
 FORMAT_VERSION = 1
@@ -89,6 +90,10 @@ def save_dataset(dataset: GovernmentHostingDataset, path: PathLike) -> int:
                 for code, cd in sorted(dataset.countries.items())
             },
         }
+        # The key is only written for faulted runs, so exports from
+        # rate-0 runs stay byte-identical to pre-fault-layer exports.
+        if dataset.faults.countries:
+            header["faults"] = dataset.faults.to_dict()
         handle.write(json.dumps(header) + "\n")
         for record in dataset.iter_records():
             handle.write(json.dumps(record_to_dict(record)) + "\n")
@@ -136,7 +141,11 @@ def load_dataset(path: PathLike) -> GovernmentHostingDataset:
             },
         )
     validation = ValidationStats(**header["validation"])
-    return GovernmentHostingDataset(countries=countries, validation=validation)
+    return GovernmentHostingDataset(
+        countries=countries,
+        validation=validation,
+        faults=FaultReport.from_dict(header.get("faults", {})),
+    )
 
 
 def export_csv(dataset: GovernmentHostingDataset, path: PathLike) -> int:

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.datagen.seeds import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 from repro.netsim.fabric import ServingFabric
 from repro.netsim.latency import LatencyModel
 from repro.world.cities import cities_of
@@ -107,13 +110,32 @@ class AtlasClient:
         probe: AtlasProbe,
         address: int,
         count: int = DEFAULT_PING_COUNT,
+        faults: Optional["FaultSession"] = None,
     ) -> PingResult:
-        """Send ``count`` pings from ``probe`` to ``address`` (memoized)."""
+        """Send ``count`` pings from ``probe`` to ``address`` (memoized).
+
+        With a fault session, the ping train is subject to injected
+        probe timeouts (retried with simulated backoff; exhausting the
+        retries times the train out) and congestion spikes on individual
+        samples.  Faulted results are memoized on the session — fault
+        outcomes are scoped to the scanning country — while the shared
+        cache keeps serving the fault-free path untouched.
+        """
         key = (probe.probe_id, address, count)
-        cached = self._ping_cache.get(key)
+        if faults is None:
+            cached = self._ping_cache.get(key)
+        else:
+            cached = faults.ping_memo.get(key)
         if cached is not None:
             return cached
-        if not self._fabric.responds_to_ping(address):
+        if faults is not None and faults.operation_fails(
+            "probe", probe.probe_id, address
+        ):
+            # The probe never got an answer back: indistinguishable from
+            # an unresponsive target, so downstream geolocation degrades
+            # through the same None-RTT handling it already has.
+            result = PingResult(probe=probe, address=address, rtts_ms=())
+        elif not self._fabric.responds_to_ping(address):
             result = PingResult(probe=probe, address=address, rtts_ms=())
         else:
             site = self._fabric.server_site(address, probe.lat, probe.lon)
@@ -122,10 +144,22 @@ class AtlasClient:
                 derive_seed(self._seed, "ping", probe.probe_id, address)
             )
             rtts = tuple(
-                self._latency.rtt_for_distance(distance, rng) for _ in range(count)
+                self._latency.rtt_for_distance(
+                    distance,
+                    rng,
+                    extra_ms=(
+                        faults.congestion_ms(probe.probe_id, address, sample)
+                        if faults is not None
+                        else 0.0
+                    ),
+                )
+                for sample in range(count)
             )
             result = PingResult(probe=probe, address=address, rtts_ms=rtts)
-        self._ping_cache[key] = result
+        if faults is None:
+            self._ping_cache[key] = result
+        else:
+            faults.ping_memo[key] = result
         return result
 
     def min_rtt_from_country(
@@ -134,6 +168,7 @@ class AtlasClient:
         address: int,
         probe_limit: int = DEFAULT_PROBES_PER_COUNTRY,
         count: int = DEFAULT_PING_COUNT,
+        faults: Optional["FaultSession"] = None,
     ) -> Optional[float]:
         """Minimum RTT to ``address`` over all probes of a country.
 
@@ -142,14 +177,19 @@ class AtlasClient:
         """
         best: Optional[float] = None
         for probe in self.probes_in(country_code, probe_limit):
-            result = self.ping(probe, address, count)
+            result = self.ping(probe, address, count, faults=faults)
             if result.min_rtt_ms is None:
                 continue
             if best is None or result.min_rtt_ms < best:
                 best = result.min_rtt_ms
         return best
 
-    def nearest_probe_rtt(self, address: int, count: int = DEFAULT_PING_COUNT) -> Optional[PingResult]:
+    def nearest_probe_rtt(
+        self,
+        address: int,
+        count: int = DEFAULT_PING_COUNT,
+        faults: Optional["FaultSession"] = None,
+    ) -> Optional[PingResult]:
         """Single-radius helper: the probe with the smallest RTT to ``address``.
 
         Used by the final multistage-geolocation fallback (Section 3.5,
@@ -158,7 +198,7 @@ class AtlasClient:
         """
         best: Optional[PingResult] = None
         for probe in self.all_probes():
-            result = self.ping(probe, address, count)
+            result = self.ping(probe, address, count, faults=faults)
             if result.min_rtt_ms is None:
                 continue
             if best is None or result.min_rtt_ms < (best.min_rtt_ms or float("inf")):

@@ -12,7 +12,10 @@ exist to catch.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,13 +39,25 @@ class IpInfoDatabase:
         """Insert or overwrite the row for ``entry.address``."""
         self._entries[entry.address] = entry
 
-    def lookup(self, address: int) -> Optional[IpInfoEntry]:
-        """The claimed location of ``address`` (None if unknown)."""
+    def lookup(
+        self, address: int, faults: Optional["FaultSession"] = None
+    ) -> Optional[IpInfoEntry]:
+        """The claimed location of ``address`` (None if unknown).
+
+        An injected lookup failure that exhausts its retries returns
+        None too: downstream geolocation already treats an unknown
+        address via the multistage fallback, so the query degrades into
+        the paper's existing path instead of raising.
+        """
+        if faults is not None and faults.operation_fails("ipinfo", address):
+            return None
         return self._entries.get(address)
 
-    def country_of(self, address: int) -> Optional[str]:
+    def country_of(
+        self, address: int, faults: Optional["FaultSession"] = None
+    ) -> Optional[str]:
         """Claimed country of ``address`` (None if unknown)."""
-        entry = self._entries.get(address)
+        entry = self.lookup(address, faults=faults)
         return entry.country if entry else None
 
     def __len__(self) -> int:

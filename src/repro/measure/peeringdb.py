@@ -11,7 +11,10 @@ which is why the paper falls back to WHOIS and web searches.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.session import FaultSession
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,8 +47,17 @@ class PeeringDb:
             raise ValueError(f"duplicate PeeringDB record for AS{record.asn}")
         self._records[record.asn] = record
 
-    def lookup(self, asn: int) -> Optional[PeeringDbRecord]:
-        """Record for ``asn`` (None when the network never registered)."""
+    def lookup(
+        self, asn: int, faults: Optional["FaultSession"] = None
+    ) -> Optional[PeeringDbRecord]:
+        """Record for ``asn`` (None when the network never registered).
+
+        An injected fetch failure that exhausts its retries also yields
+        None — PeeringDB coverage is partial anyway, so the ownership
+        cascade degrades to its WHOIS/web-search fallbacks (Section 3.4).
+        """
+        if faults is not None and faults.operation_fails("peeringdb", asn):
+            return None
         return self._records.get(asn)
 
     def __len__(self) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.world.cities import capital_of
+from repro.world.cities import capital_of, cities_of
 from repro.world.countries import COUNTRIES
 
 
@@ -49,6 +49,28 @@ class VpnCatalog:
     def vantage_for(self, country_code: str) -> VantagePoint:
         """The in-country VPN exit for ``country_code``."""
         return self._vantages[country_code.upper()]
+
+    def fallback_vantage(self, country_code: str) -> VantagePoint:
+        """An alternate in-country exit for when the primary is down.
+
+        VPN providers run exits in several cities of popular countries;
+        when the capital exit keeps refusing connections the fault layer
+        re-selects the provider's exit in the next city of the country.
+        Countries with a single city fall back to the primary itself
+        (the retry policy is the only recovery available there).
+        """
+        code = country_code.upper()
+        primary = self._vantages[code]
+        for city in cities_of(code):
+            if city.name != primary.city:
+                return VantagePoint(
+                    country=code,
+                    provider=primary.provider,
+                    city=city.name,
+                    lat=city.lat,
+                    lon=city.lon,
+                )
+        return primary
 
     def provider_usage(self) -> dict[str, int]:
         """Number of countries reached through each VPN provider.

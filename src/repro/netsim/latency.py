@@ -51,7 +51,10 @@ class LatencyModel:
         return self.rtt_for_distance(distance)
 
     def rtt_for_distance(
-        self, distance_km: float, rng: Optional[random.Random] = None
+        self,
+        distance_km: float,
+        rng: Optional[random.Random] = None,
+        extra_ms: float = 0.0,
     ) -> float:
         """One RTT sample for a known distance.
 
@@ -59,8 +62,11 @@ class LatencyModel:
         need order-independent samples (e.g. the Atlas client keying
         jitter per probe/target pair) pass a derived generator so the
         sample does not depend on how many draws happened before it.
+        ``extra_ms`` adds a deterministic penalty on top of the sample —
+        the fault injector's congestion spikes — which preserves the
+        latency-lower-bounds-distance invariant (penalties only inflate).
         """
-        base = propagation_rtt_ms(distance_km)
+        base = propagation_rtt_ms(distance_km) + extra_ms
         if self._jitter_ms <= 0:
             return base
         jitter = (rng or self._rng).expovariate(1.0 / self._jitter_ms)

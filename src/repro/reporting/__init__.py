@@ -1,6 +1,7 @@
 """Rendering of paper-style tables and figure data as text."""
 
 from repro.reporting.tables import render_table, format_fraction
+from repro.reporting.faults import render_fault_report
 from repro.reporting.figures import (
     render_mix_bars,
     render_split_bars,
@@ -10,6 +11,7 @@ from repro.reporting.figures import (
 __all__ = [
     "render_table",
     "format_fraction",
+    "render_fault_report",
     "render_mix_bars",
     "render_split_bars",
     "render_region_table",

@@ -1,0 +1,36 @@
+"""Rendering of fault-injection accounting (``repro.faults``)."""
+
+from __future__ import annotations
+
+from repro.faults.report import FaultReport
+from repro.reporting.tables import render_table
+
+
+def render_fault_report(report: FaultReport) -> str:
+    """A per-domain fault summary table, plus per-country rows.
+
+    Empty reports (rate-0 or fault-free runs) render a one-line notice
+    instead of an empty table.
+    """
+    rows = [
+        (country, domain, tally.injected, tally.retried,
+         tally.recovered, tally.degraded, f"{tally.backoff_ms:.0f}")
+        for country, domain, tally in report.iter_tallies()
+        if tally.injected or tally.degraded
+    ]
+    if not rows:
+        return "Fault report: no faults injected."
+    total = report.total()
+    rows.append(
+        ("TOTAL", "all", total.injected, total.retried,
+         total.recovered, total.degraded, f"{total.backoff_ms:.0f}")
+    )
+    return render_table(
+        headers=("Country", "Domain", "Injected", "Retried",
+                 "Recovered", "Degraded", "Backoff (ms)"),
+        rows=rows,
+        title="Fault injection report",
+    )
+
+
+__all__ = ["render_fault_report"]

@@ -63,9 +63,10 @@ def test_drift_increases_third_party_dependency(snapshots):
     assert summary["share_increasing"] >= 0.75
 
 
-def test_trend_summary_requires_overlap():
-    with pytest.raises(ValueError):
-        trend_summary({})
+def test_trend_summary_of_no_overlap_is_empty():
+    assert trend_summary({}) == {
+        "mean_delta": 0.0, "share_increasing": 0.0, "countries": 0.0,
+    }
 
 
 def test_drift_profile_validation():
