@@ -1,0 +1,81 @@
+"""Canonical cache-key derivation.
+
+A cache entry is valid only for the exact scan inputs it was computed
+from.  The key is therefore a BLAKE2 digest over a canonical JSON
+rendering of
+
+* every :class:`~repro.datagen.config.WorldConfig` field (via
+  :meth:`~repro.datagen.config.WorldConfig.canonical_dict`, which
+  normalizes spelling so equal worlds fingerprint equally),
+* the resolved :class:`~repro.faults.FaultPlan` (via
+  :meth:`~repro.faults.FaultPlan.fingerprint_components` — the plan,
+  not the raw config fields, is what the pipeline actually executes),
+* the country code and crawl ``max_depth``, and
+* :data:`CACHE_FORMAT_VERSION`, so a change to the entry layout or to
+  the meaning of any fingerprinted field retires every older entry.
+
+Keys are content addresses: two pipelines with identical inputs share
+entries, and changing one field (a fault rate, the scale, the seed)
+misses only the entries that field affects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.config import WorldConfig
+    from repro.faults.plan import FaultPlan
+
+#: Version of the on-disk entry format *and* of the fingerprint scheme.
+#: Bump whenever :class:`~repro.exec.partials.CountryPartial` or the
+#: key derivation changes; every older entry then misses harmlessly.
+CACHE_FORMAT_VERSION = 1
+
+
+def run_fingerprint(
+    config: "WorldConfig", max_depth: int, plan: "FaultPlan"
+) -> str:
+    """Fingerprint of everything a scan depends on except the country.
+
+    Canonicalizing the config is the expensive part of key derivation,
+    so callers derive this once per run and fan per-country keys out
+    with :func:`country_key`.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "world": config.canonical_dict(),
+        "faults": plan.fingerprint_components(),
+        "max_depth": int(max_depth),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def country_key(run_fp: str, country: str) -> str:
+    """Entry key of one country's scan under a run fingerprint."""
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(run_fp.encode("ascii"))
+    hasher.update(b"\x1f")
+    hasher.update(country.upper().encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def scan_key(
+    config: "WorldConfig",
+    country: str,
+    max_depth: int,
+    plan: "FaultPlan",
+) -> str:
+    """Content address of one country's phase-1 scan result."""
+    return country_key(run_fingerprint(config, max_depth, plan), country)
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "country_key",
+    "run_fingerprint",
+    "scan_key",
+]

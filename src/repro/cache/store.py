@@ -1,0 +1,280 @@
+"""The on-disk scan cache: load, store, verify, recover.
+
+Entry layout (one file per key, sharded by the key's first two hex
+digits to keep directories small)::
+
+    <cache_dir>/<key[:2]>/<key>.partial
+    ┌──────────────────────────────────────────────┐
+    │ header JSON line (format, key, country,      │
+    │   meta_bytes, bulk_bytes, digest, scan_s)    │
+    │ meta pickle (merge inputs: counts, verdicts, │
+    │   footprint, faults)                         │
+    │ bulk pickle ((hosts, urls) — record          │
+    │   assembly's inputs)                         │
+    └──────────────────────────────────────────────┘
+
+The payload is split so a warm start pays only for what the driver's
+merges touch: the meta segment is unpickled eagerly, while the much
+larger bulk segment (per-host annotations and per-URL rows) stays raw
+bytes behind the returned partial's deferred ``bulk`` loader until the
+country's records are actually materialized.
+
+Loads trust nothing: the header must parse, carry the current format
+version and the expected key, the payload must match its recorded
+segment sizes and BLAKE2 digest (covering *both* segments, checked
+up front — a deferred bulk never skips verification), and the meta
+must decode to the expected country's merge inputs.  Any failed check
+evicts the entry and reports a miss, so the pipeline recomputes — a
+corrupt cache can cost time, never correctness.  Stores are atomic
+(write-to-temp + ``os.replace``), so a crashed or concurrent writer
+can't leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import weakref
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.cache.fingerprint import (
+    CACHE_FORMAT_VERSION,
+    country_key,
+    run_fingerprint,
+)
+from repro.exec.partials import CountryPartial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import Pipeline
+
+PathLike = Union[str, pathlib.Path]
+
+#: Filename suffix of cache entries.
+ENTRY_SUFFIX = ".partial"
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024.0:
+            return f"{count} B" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024.0
+    return f"{size:.1f} GiB"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Accounting for one :class:`ScanCache` instance."""
+
+    #: Entries served from disk.
+    hits: int = 0
+    #: Lookups that had to recompute (absent, corrupt or mismatched).
+    misses: int = 0
+    #: Fresh entries written.
+    stores: int = 0
+    #: Entries evicted because a load-time check failed.
+    evicted: int = 0
+    #: Bytes read for hits / written for stores.
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Estimated scan time the hits avoided, from the per-entry scan
+    #: cost recorded at store time (wall clock of the miss batch spread
+    #: over its countries, so parallel fan-outs make this conservative).
+    time_saved_s: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1] (0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        """One-line render for run reports."""
+        return (
+            f"{self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), "
+            f"{_format_bytes(self.bytes_read)} read, "
+            f"{_format_bytes(self.bytes_written)} written, "
+            f"~{self.time_saved_s:.1f}s scan time saved"
+        )
+
+
+class ScanCache:
+    """Persistent store of per-country phase-1 scan results."""
+
+    def __init__(self, cache_dir: PathLike) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        #: Run fingerprints memoized per pipeline (config
+        #: canonicalization costs more than the per-country key).
+        self._run_fps: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------- keys
+
+    def key_for(self, pipeline: "Pipeline", country: str) -> str:
+        """The content address of one country's scan under ``pipeline``."""
+        run_fp = self._run_fps.get(pipeline)
+        if run_fp is None:
+            run_fp = run_fingerprint(
+                pipeline.world.config,
+                pipeline.crawler.max_depth,
+                pipeline.fault_plan,
+            )
+            self._run_fps[pipeline] = run_fp
+        return country_key(run_fp, country)
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / key[:2] / f"{key}{ENTRY_SUFFIX}"
+
+    # ---------------------------------------------------------- load/store
+
+    def load(self, key: str, country: str) -> Optional[CountryPartial]:
+        """The cached partial for ``key``, or None (then recompute).
+
+        Never raises on bad entries: a failed integrity or fingerprint
+        check evicts the file and counts as a miss.
+        """
+        path = self._entry_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        decoded = self._decode(blob, key, country)
+        if decoded is None:
+            self.stats.evicted += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        header, partial = decoded
+        self.stats.hits += 1
+        self.stats.bytes_read += len(blob)
+        self.stats.time_saved_s += float(header.get("scan_s", 0.0) or 0.0)
+        return partial
+
+    @staticmethod
+    def _decode(
+        blob: bytes, key: str, country: str
+    ) -> Optional[tuple[dict, CountryPartial]]:
+        """Verify one entry and build a lazy-bulk partial from it.
+
+        Integrity is checked in full here (sizes and digest cover both
+        pickle segments); only the *unpickling* of the bulk segment is
+        deferred.  Returns None on any inconsistency.
+        """
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            header = json.loads(blob[:newline])
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(header, dict):
+            return None
+        payload = blob[newline + 1:]
+        meta_bytes = header.get("meta_bytes")
+        bulk_bytes = header.get("bulk_bytes")
+        if (
+            header.get("format") != CACHE_FORMAT_VERSION
+            or header.get("key") != key
+            or not isinstance(meta_bytes, int)
+            or not isinstance(bulk_bytes, int)
+            or meta_bytes + bulk_bytes != len(payload)
+            or header.get("digest") != _digest(payload)
+        ):
+            return None
+        bulk_blob = payload[meta_bytes:]
+        try:
+            meta = pickle.loads(payload[:meta_bytes])
+            (country_field, landing_count, discarded_url_count,
+             unresolved_hostnames, depth_histogram, verdicts,
+             footprint, faults) = meta
+        except Exception:
+            return None
+        if country_field != country.upper():
+            return None
+        partial = CountryPartial(
+            country=country_field,
+            landing_count=landing_count,
+            discarded_url_count=discarded_url_count,
+            unresolved_hostnames=unresolved_hostnames,
+            depth_histogram=depth_histogram,
+            verdicts=verdicts,
+            footprint=footprint,
+            faults=faults,
+            bulk=functools.partial(pickle.loads, bulk_blob),
+        )
+        return header, partial
+
+    def store(
+        self, key: str, partial: CountryPartial, scan_s: float = 0.0
+    ) -> None:
+        """Persist one partial under ``key`` (atomically).
+
+        ``scan_s`` records what the scan cost, so future hits can report
+        the time they saved.
+        """
+        meta = pickle.dumps(
+            (partial.country, partial.landing_count,
+             partial.discarded_url_count, partial.unresolved_hostnames,
+             partial.depth_histogram, partial.verdicts,
+             partial.footprint, partial.faults),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        bulk = pickle.dumps(
+            (partial.hosts, partial.urls), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        payload = meta + bulk
+        header = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "country": partial.country,
+            "meta_bytes": len(meta),
+            "bulk_bytes": len(bulk),
+            "digest": _digest(payload),
+            "scan_s": round(scan_s, 6),
+        }
+        blob = json.dumps(header, sort_keys=True).encode("ascii") + b"\n" + payload
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        self.stats.bytes_written += len(blob)
+
+    # ------------------------------------------------------------ maintenance
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.cache_dir.glob(f"*/*{ENTRY_SUFFIX}"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.cache_dir.glob(f"*/*{ENTRY_SUFFIX}"):
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+
+__all__ = ["CacheStats", "ScanCache", "ENTRY_SUFFIX"]

@@ -3,6 +3,7 @@
 ``repro-gov`` drives the whole reproduction from a shell::
 
     repro-gov run --scale 0.05 --out dataset.jsonl   # generate + measure + save
+    repro-gov run --scale 0.05 --cache-dir .scan     # warm-start on re-runs
     repro-gov report dataset.jsonl                   # analyses over a saved run
     repro-gov report dataset.jsonl --section providers
     repro-gov inspect --hostname www.gub.uy          # one hostname end to end
@@ -62,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
                      help="seed for fault decisions (default: derived "
                           "from --seed, so faulted runs stay reproducible)")
+    run.add_argument("--cache-dir", metavar="PATH", default=None,
+                     help="persistent scan cache: per-country phase-1 "
+                          "results are stored here and re-served on "
+                          "matching re-runs (default: no caching)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="ignore --cache-dir for this run (neither read "
+                          "nor write the cache)")
+    run.add_argument("--cache-clear", action="store_true",
+                     help="empty the cache under --cache-dir before "
+                          "running")
 
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset"
@@ -90,15 +101,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executor_name = args.executor
     if executor_name is None:
         executor_name = "processes" if args.workers else "serial"
+    cache = None
+    if args.cache_clear and not args.cache_dir:
+        print("error: --cache-clear requires --cache-dir", file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        from repro.cache import ScanCache
+
+        cache = ScanCache(args.cache_dir)
+        if args.cache_clear:
+            removed = cache.clear()
+            print(f"cache: cleared {removed} entries from {args.cache_dir}")
+        if args.no_cache:
+            cache = None
     executor = make_executor(executor_name, workers=args.workers)
     try:
-        dataset = Pipeline(world).run(executor=executor)
+        dataset = Pipeline(world).run(executor=executor, cache=cache)
     finally:
         executor.close()
     summary = dataset.summarize()
     print(f"measured {summary.total_unique_urls:,} URLs over "
           f"{summary.unique_hostnames:,} hostnames "
           f"({summary.ases} ASes, {summary.unique_addresses} addresses)")
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
     if dataset.faults.countries:
         from repro.reporting.faults import render_fault_report
 

@@ -89,6 +89,18 @@ class CategoryClassifier:
         """Merge an externally collected footprint (parallel reduction)."""
         self._footprint = self._footprint.merge(footprint)
 
+    def snapshot(self) -> "CategoryClassifier":
+        """A classifier frozen at the current footprint.
+
+        The clone owns a private copy of the footprint, so deferred
+        record assemblers that capture it categorize against exactly
+        the footprint that existed at the barrier — even if this
+        classifier later observes or ingests more countries.
+        """
+        clone = CategoryClassifier(self._ownership)
+        clone._footprint = ProviderFootprint().merge(self._footprint)
+        return clone
+
     def footprint(self, asn: int) -> frozenset[Continent]:
         """Continents of the governments ``asn`` serves in the dataset."""
         return self._footprint.continents(asn)

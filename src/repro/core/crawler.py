@@ -60,17 +60,21 @@ class Crawler:
         archive = HarArchive(country=vantage.country)
         depth_of: dict[str, int] = {}
         failed: list[str] = []
-        visited_pages: set[str] = set()
+        #: URLs ever admitted to the frontier.  Deduplicating at enqueue
+        #: time (rather than at dequeue) keeps the BFS queue bounded by
+        #: the number of unique pages instead of the number of links:
+        #: each URL still gets loaded exactly once, at the depth of its
+        #: first referring page, so the crawl result is unchanged.
+        enqueued: set[str] = set()
         page_loads = 0
 
-        queue: collections.deque[tuple[str, int]] = collections.deque(
-            (seed, 0) for seed in seeds
-        )
+        queue: collections.deque[tuple[str, int]] = collections.deque()
+        for seed in seeds:
+            if seed not in enqueued:
+                enqueued.add(seed)
+                queue.append((seed, 0))
         while queue:
             url, depth = queue.popleft()
-            if url in visited_pages:
-                continue
-            visited_pages.add(url)
             try:
                 load = self._browser.load(url, vantage)
             except (PageNotFoundError, GeoBlockedError):
@@ -82,7 +86,8 @@ class Crawler:
                     depth_of[entry.url] = depth
             if depth < self._max_depth:
                 for link in load.links:
-                    if link not in visited_pages:
+                    if link not in enqueued:
+                        enqueued.add(link)
                         queue.append((link, depth + 1))
 
         return CrawlResult(

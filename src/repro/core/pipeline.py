@@ -24,7 +24,8 @@ bit-identical to serial ones.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+import functools
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.asclassify import GovernmentASClassifier
 from repro.core.classification import CategoryClassifier, ProviderFootprint
@@ -50,6 +51,9 @@ from repro.netsim.latency import LatencyModel
 from repro.websim.browser import Browser
 from repro.world.cities import all_location_codes
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache import ScanCache
+
 
 @dataclasses.dataclass
 class _CountryScan:
@@ -60,6 +64,36 @@ class _CountryScan:
     outcome: FilterOutcome
     infrastructure: dict[str, HostInfrastructure]
     landing_count: int
+
+
+def _assemble_records(
+    partial: CountryPartial, categories: CategoryClassifier
+) -> list[UrlRecord]:
+    """Build one country's URL records from its phase-1 partial.
+
+    The per-host suffix (everything after the per-URL columns) is
+    computed once per hostname, and records are built through
+    ``tuple.__new__`` — per-record attribute lookups and the generated
+    NamedTuple constructor otherwise dominate assembly, which creates
+    ~1M records at full scale.
+    """
+    country = partial.country
+    categorize = categories.categorize
+    new = tuple.__new__
+    suffix = {
+        hostname: (
+            note.address, note.asn, note.organization,
+            note.registered_country, note.gov_operated,
+            categorize(note.asn, note.registered_country, country),
+            note.server_country, note.anycast, note.validation,
+        )
+        for hostname, note in partial.hosts.items()
+    }
+    return [
+        new(UrlRecord, (url, hostname, country, size_bytes, via, depth)
+            + suffix[hostname])
+        for url, hostname, size_bytes, via, depth in partial.urls
+    ]
 
 
 class Pipeline:
@@ -91,6 +125,11 @@ class Pipeline:
         #: or fault plan is injected; their configuration cannot be
         #: shipped to workers).
         self.supports_process_execution = geolocator is None and faults is None
+        #: Whether scan results may be served from a persistent cache.
+        #: A custom fault plan is fine — the frozen plan fingerprints
+        #: exactly — but a custom geolocator's behavior is opaque, so
+        #: its partials must not be memoized under a config-derived key.
+        self.supports_caching = geolocator is None
         self.geolocator = geolocator or Geolocator(
             ipinfo=world.ipinfo,
             manycast=world.manycast,
@@ -217,35 +256,29 @@ class Pipeline:
             faults=session.report if session is not None else FaultReport(),
         )
 
-    def finalize_country(self, partial: CountryPartial) -> CountryDataset:
-        """Phase 2 for one country: categorize hosts, assemble records.
+    def finalize_country(
+        self,
+        partial: CountryPartial,
+        categories: Optional[CategoryClassifier] = None,
+    ) -> CountryDataset:
+        """Phase 2 for one country: snapshot categories, defer assembly.
 
         Requires :meth:`CategoryClassifier.ingest` (or ``observe``) to
         have absorbed the *global* footprint first — the Global-provider
-        definition spans countries.
+        definition spans countries.  The returned dataset holds a
+        deferred record assembler over a frozen snapshot of the
+        classifier, so the dominant per-URL construction cost is paid
+        only when the records are actually read, and the assembly is
+        identical no matter when it runs (even if this pipeline later
+        ingests further footprints).  ``categories`` lets a driver that
+        finalizes many countries take that snapshot once and share it.
         """
-        country = partial.country
-        categorize = self.categories.categorize
-        hosts = partial.hosts
-        category_by_host = {
-            hostname: categorize(note.asn, note.registered_country, country)
-            for hostname, note in hosts.items()
-        }
-        records: list[UrlRecord] = []
-        append = records.append
-        for url, hostname, size_bytes, via, depth in partial.urls:
-            note = hosts[hostname]
-            append(UrlRecord(
-                url, hostname, country, size_bytes, via, depth,
-                note.address, note.asn, note.organization,
-                note.registered_country, note.gov_operated,
-                category_by_host[hostname], note.server_country,
-                note.anycast, note.validation,
-            ))
+        if categories is None:
+            categories = self.categories.snapshot()
         return CountryDataset(
-            country=country,
+            country=partial.country,
             landing_count=partial.landing_count,
-            records=records,
+            records=functools.partial(_assemble_records, partial, categories),
             discarded_url_count=partial.discarded_url_count,
             unresolved_hostnames=partial.unresolved_hostnames,
             depth_histogram=partial.depth_histogram,
@@ -255,6 +288,7 @@ class Pipeline:
         self,
         countries: Optional[Sequence[str]] = None,
         executor: Optional[ExecutionStrategy] = None,
+        cache: Optional["ScanCache"] = None,
     ) -> GovernmentHostingDataset:
         """Run the full pipeline and assemble the dataset.
 
@@ -263,19 +297,40 @@ class Pipeline:
         strategy yields an identical dataset; callers that pass their
         own executor also own its lifetime (call ``close()`` when done,
         the pool is reusable across runs).
+
+        ``cache`` enables warm starts: phase-1 partials are served from
+        the :class:`~repro.cache.ScanCache` where valid and only the
+        misses are scanned (then stored back).  Warm runs are
+        byte-identical to cold ones under every executor; the cache's
+        ``stats`` record what the run hit, missed and saved.
         """
         codes = [c.upper() for c in countries] if countries else self.world.country_codes()
         strategy = executor or SerialExecutor()
 
-        # Phase 1: independent per-country scans, fanned out.
-        partials = strategy.scan(self, codes)
+        # Phase 1: independent per-country scans, fanned out (warm-started
+        # from the cache when one is given).
+        if cache is not None:
+            if not self.supports_caching:
+                raise ValueError(
+                    "caching requires the pipeline's default geolocator; a "
+                    "custom geolocator's results cannot be keyed by the "
+                    "world config — run without cache="
+                )
+            partials = strategy.scan_cached(self, codes, cache)
+        else:
+            partials = strategy.scan(self, codes)
 
         # Barrier: cross-country reductions, merged deterministically.
         self.categories.ingest(merge_footprints(partials))
         validation = merge_validation(partials)
 
         # Phase 2: categorize + record assembly, parallelizable again.
-        finalized = strategy.finalize(self, partials, self.finalize_country)
+        # One classifier snapshot serves every country's deferred
+        # assembler; per-country snapshots would each copy the footprint.
+        finalize_one = functools.partial(
+            self.finalize_country, categories=self.categories.snapshot()
+        )
+        finalized = strategy.finalize(self, partials, finalize_one)
         return GovernmentHostingDataset(
             countries={dataset.country: dataset for dataset in finalized},
             validation=validation,

@@ -139,6 +139,27 @@ class WorldConfig:
                 f"of {', '.join(FAULT_PROFILE_NAMES)}"
             )
 
+    def canonical_dict(self) -> dict:
+        """Every field as a JSON-stable dict (the scan-cache key input).
+
+        Sequences become lists, country restrictions are uppercased and
+        a defaulted ``fault_seed`` is resolved to the stream it derives
+        (mirroring :meth:`~repro.faults.plan.FaultPlan.from_config`), so
+        two configs that run identically fingerprint identically
+        regardless of how their fields were spelled; any other field
+        difference yields a different fingerprint.
+        """
+        from repro.faults.plan import FaultPlan
+
+        data = dataclasses.asdict(self)
+        data["countries"] = (
+            None if self.countries is None
+            else [code.upper() for code in self.countries]
+        )
+        data["depth_distribution"] = list(self.depth_distribution)
+        data["fault_seed"] = FaultPlan.from_config(self).seed
+        return data
+
     def country_codes(self) -> list[str]:
         """The country codes to generate (validated against the sample)."""
         from repro.world.countries import COUNTRIES

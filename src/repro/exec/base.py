@@ -11,11 +11,13 @@ order so the driver's merges are deterministic.
 from __future__ import annotations
 
 import abc
+import time
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from repro.exec.partials import CountryPartial
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.cache import ScanCache
     from repro.core.pipeline import Pipeline
 
 T = TypeVar("T")
@@ -33,6 +35,40 @@ class ExecutionStrategy(abc.ABC):
     ) -> list[CountryPartial]:
         """Run phase 1 for every country, returning partials in the
         order of ``codes`` regardless of completion order."""
+
+    def scan_cached(
+        self,
+        pipeline: "Pipeline",
+        codes: Sequence[str],
+        cache: "ScanCache",
+    ) -> list[CountryPartial]:
+        """Phase 1 with a warm start: serve hits, fan out only misses.
+
+        Hits are loaded from the cache; misses keep their submission
+        order and go through :meth:`scan` — whatever worker fabric this
+        strategy owns — then get stored back (tagged with the average
+        per-country scan cost, so future hits can report time saved).
+        The combined partials come back in the order of ``codes``, so a
+        warm run merges exactly like a cold one and the resulting
+        dataset is byte-identical either way.
+        """
+        keyed = [(code, cache.key_for(pipeline, code)) for code in codes]
+        partials: dict[str, CountryPartial] = {}
+        misses: list[tuple[str, str]] = []
+        for code, key in keyed:
+            hit = cache.load(key, code)
+            if hit is None:
+                misses.append((code, key))
+            else:
+                partials[code] = hit
+        if misses:
+            start = time.perf_counter()
+            fresh = self.scan(pipeline, [code for code, _ in misses])
+            per_country = (time.perf_counter() - start) / len(misses)
+            for (code, key), partial in zip(misses, fresh):
+                cache.store(key, partial, scan_s=per_country)
+                partials[code] = partial
+        return [partials[code] for code, _ in keyed]
 
     def finalize(
         self,

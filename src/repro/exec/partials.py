@@ -20,7 +20,7 @@ was sharded or in which order shards completed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.classification import ProviderFootprint
 from repro.core.geolocation import GeoVerdict, ValidationMethod, ValidationStats
@@ -46,33 +46,110 @@ class HostAnnotation:
 UrlObservation = tuple[str, str, int, FilterVia, int]
 
 
-@dataclasses.dataclass
 class CountryPartial:
     """Everything phase-1 learned about one country.
 
     Picklable, so process workers can ship it back to the driver; small,
     because URLs are stored as tuples and per-host facts are factored
     out of the per-URL rows.
+
+    The *bulk* of a partial — ``hosts`` and ``urls``, everything record
+    assembly needs and nothing the driver's merges touch — may be given
+    directly or through a deferred ``bulk`` loader returning the
+    ``(hosts, urls)`` pair.  The scan cache uses the latter: a warm
+    start reads and integrity-checks every entry up front but unpickles
+    the bulk only when (and if) the records are materialized.  Loaders
+    must be pure, so a deferred partial equals its eager twin no matter
+    when the bulk is first touched.
     """
 
-    country: str
-    landing_count: int
-    discarded_url_count: int
-    unresolved_hostnames: list[str]
-    depth_histogram: dict[int, int]
-    #: Phase-1 annotations per confirmed government hostname.
-    hosts: dict[str, HostAnnotation]
-    #: Accepted URLs, in archive order.
-    urls: list[UrlObservation]
-    #: Geolocation verdicts in deterministic (sorted-hostname) order,
-    #: one per resolved hostname — the replay input for the stats merge.
-    verdicts: tuple[GeoVerdict, ...]
-    #: Continental footprint observed by this country alone.
-    footprint: ProviderFootprint
-    #: Fault accounting for this country's scan (empty when fault
-    #: injection is disabled); merged on the driver with
-    #: :func:`merge_faults` — a commutative monoid, like the footprint.
-    faults: FaultReport = dataclasses.field(default_factory=FaultReport)
+    __slots__ = (
+        "country", "landing_count", "discarded_url_count",
+        "unresolved_hostnames", "depth_histogram", "verdicts",
+        "footprint", "faults", "_hosts", "_urls", "_load_bulk",
+    )
+
+    def __init__(
+        self,
+        country: str,
+        landing_count: int,
+        discarded_url_count: int,
+        unresolved_hostnames: list[str],
+        depth_histogram: dict[int, int],
+        hosts: Optional[dict[str, HostAnnotation]] = None,
+        urls: Optional[list[UrlObservation]] = None,
+        verdicts: tuple[GeoVerdict, ...] = (),
+        footprint: Optional[ProviderFootprint] = None,
+        faults: Optional[FaultReport] = None,
+        bulk: Optional[Callable[[], tuple[dict, list]]] = None,
+    ) -> None:
+        if (bulk is None) == (hosts is None):
+            raise ValueError("pass either hosts/urls or a bulk loader")
+        self.country = country
+        self.landing_count = landing_count
+        self.discarded_url_count = discarded_url_count
+        self.unresolved_hostnames = unresolved_hostnames
+        #: URL counts per discovery depth.
+        self.depth_histogram = depth_histogram
+        #: Geolocation verdicts in deterministic (sorted-hostname) order,
+        #: one per resolved hostname — the replay input for the stats merge.
+        self.verdicts = verdicts
+        #: Continental footprint observed by this country alone.
+        self.footprint = footprint if footprint is not None else ProviderFootprint()
+        #: Fault accounting for this country's scan (empty when fault
+        #: injection is disabled); merged on the driver with
+        #: :func:`merge_faults` — a commutative monoid, like the footprint.
+        self.faults = faults if faults is not None else FaultReport()
+        self._hosts = hosts
+        self._urls = urls
+        self._load_bulk = bulk
+
+    def _materialize(self) -> None:
+        hosts, urls = self._load_bulk()
+        self._hosts = hosts
+        self._urls = urls
+        self._load_bulk = None
+
+    @property
+    def hosts(self) -> dict[str, HostAnnotation]:
+        """Phase-1 annotations per confirmed government hostname."""
+        if self._hosts is None:
+            self._materialize()
+        return self._hosts
+
+    @property
+    def urls(self) -> list[UrlObservation]:
+        """Accepted URLs, in archive order."""
+        if self._urls is None:
+            self._materialize()
+        return self._urls
+
+    # Pickling materializes the bulk: process workers and the cache
+    # always ship complete partials.
+    def __getstate__(self) -> tuple:
+        return (
+            self.country, self.landing_count, self.discarded_url_count,
+            self.unresolved_hostnames, self.depth_histogram, self.hosts,
+            self.urls, self.verdicts, self.footprint, self.faults,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.country, self.landing_count, self.discarded_url_count,
+         self.unresolved_hostnames, self.depth_histogram, self._hosts,
+         self._urls, self.verdicts, self.footprint, self.faults) = state
+        self._load_bulk = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountryPartial):
+            return NotImplemented
+        return self.__getstate__() == other.__getstate__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bulk = (
+            "bulk deferred" if self._hosts is None
+            else f"{len(self._hosts)} hosts, {len(self._urls)} urls"
+        )
+        return f"<CountryPartial {self.country}: {bulk}>"
 
 
 def merge_faults(partials: Iterable[CountryPartial]) -> FaultReport:

@@ -103,6 +103,19 @@ class FaultPlan:
         """Whether the plan injects anything at all."""
         return self.rate > 0.0
 
+    def fingerprint_components(self) -> dict:
+        """JSON-stable contribution to the scan-cache key.
+
+        Covers every field of the plan — the plan fully determines which
+        faults a scan suffers, so cache entries keyed on it stay valid
+        exactly as long as the injected failures would be identical.
+        Because :meth:`from_config` resolves a ``None`` ``fault_seed``
+        before the plan is built, the *resolved* seed is fingerprinted:
+        a config spelling the derived seed explicitly hits the same
+        entries as one leaving it to default.
+        """
+        return dataclasses.asdict(self)
+
     def rate_for(self, domain: str) -> float:
         """Effective per-attempt failure probability of one domain."""
         return self.rate * FAULT_PROFILES[self.profile].get(domain, 0.0)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Iterable, Union
+from typing import Union
 
 from repro.categories import HostingCategory
 from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
@@ -125,7 +125,14 @@ def load_dataset(path: PathLike) -> GovernmentHostingDataset:
                 raise ValueError(
                     f"{path}:{line_number}: corrupt record ({exc})"
                 ) from exc
-            records_by_country.setdefault(record.country, []).append(record)
+            bucket = records_by_country.get(record.country)
+            if bucket is None:
+                raise ValueError(
+                    f"{path}:{line_number}: record country "
+                    f"{record.country!r} is absent from the header's "
+                    f"countries map"
+                )
+            bucket.append(record)
 
     countries: dict[str, CountryDataset] = {}
     for code, meta in header["countries"].items():
@@ -153,7 +160,7 @@ def export_csv(dataset: GovernmentHostingDataset, path: PathLike) -> int:
     import csv
 
     path = pathlib.Path(path)
-    fieldnames = list(record_to_dict(next(dataset.iter_records(), None) or _DUMMY))
+    fieldnames = list(record_to_dict(_DUMMY))
     count = 0
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)
@@ -164,10 +171,8 @@ def export_csv(dataset: GovernmentHostingDataset, path: PathLike) -> int:
     return count
 
 
-def _iter_or_empty(records: Iterable[UrlRecord]):  # pragma: no cover - helper
-    return iter(records)
-
-
+#: Template record whose dict form fixes the CSV column set (and order)
+#: even for empty datasets.
 _DUMMY = UrlRecord(
     url="", hostname="", country="", size_bytes=0, via=FilterVia.TLD, depth=0,
     address=0, asn=0, organization="", registered_country="",

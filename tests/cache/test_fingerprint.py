@@ -1,0 +1,81 @@
+"""Key derivation: stability, normalization and selective invalidation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import WorldConfig
+from repro.cache import country_key, run_fingerprint, scan_key
+from repro.faults.plan import FaultPlan
+
+
+def _key(config: WorldConfig, country: str = "BR", max_depth: int = 7) -> str:
+    return scan_key(config, country, max_depth, FaultPlan.from_config(config))
+
+
+def test_same_inputs_same_key():
+    a = WorldConfig(seed=42, scale=0.05)
+    b = WorldConfig(seed=42, scale=0.05)
+    assert _key(a) == _key(b)
+
+
+def test_country_spelling_normalized():
+    config = WorldConfig(seed=42, scale=0.05)
+    plan = FaultPlan.from_config(config)
+    assert scan_key(config, "br", 7, plan) == scan_key(config, "BR", 7, plan)
+
+
+def test_countries_field_spelling_normalized():
+    lower = WorldConfig(seed=42, scale=0.05, countries=("br", "us"))
+    upper = WorldConfig(seed=42, scale=0.05, countries=("BR", "US"))
+    assert _key(lower) == _key(upper)
+
+
+def test_explicit_derived_fault_seed_equals_none():
+    # fault_seed=None resolves to a seed derived from the world seed; a
+    # config spelling that resolved seed out explicitly is the same scan.
+    implicit = WorldConfig(seed=42, scale=0.05, fault_rate=0.1)
+    resolved = FaultPlan.from_config(implicit).seed
+    explicit = dataclasses.replace(implicit, fault_seed=resolved)
+    assert _key(implicit) == _key(explicit)
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"seed": 43},
+        {"scale": 0.06},
+        {"countries": ("BR", "US")},
+        {"fault_rate": 0.25},
+        {"fault_seed": 9},
+    ],
+)
+def test_any_config_field_change_invalidates(change):
+    base = WorldConfig(seed=42, scale=0.05, fault_rate=0.1)
+    assert _key(base) != _key(dataclasses.replace(base, **change))
+
+
+def test_max_depth_change_invalidates():
+    config = WorldConfig(seed=42, scale=0.05)
+    assert _key(config, max_depth=7) != _key(config, max_depth=3)
+
+
+def test_countries_differ():
+    config = WorldConfig(seed=42, scale=0.05)
+    assert _key(config, "BR") != _key(config, "US")
+
+
+def test_custom_fault_plan_fingerprints_its_fields():
+    config = WorldConfig(seed=42, scale=0.05)
+    plan = FaultPlan.from_config(config)
+    bumped = dataclasses.replace(plan, max_retries=plan.max_retries + 1)
+    assert scan_key(config, "BR", 7, plan) != scan_key(config, "BR", 7, bumped)
+
+
+def test_country_key_composes_run_fingerprint():
+    config = WorldConfig(seed=42, scale=0.05)
+    plan = FaultPlan.from_config(config)
+    run_fp = run_fingerprint(config, 7, plan)
+    assert scan_key(config, "BR", 7, plan) == country_key(run_fp, "BR")

@@ -97,3 +97,51 @@ def test_depth_histogram_matches_reference_loop(world):
     # Sorted ascending by depth, and accounts for every URL.
     assert list(histogram) == sorted(histogram)
     assert sum(histogram.values()) == len(result.depth_of)
+
+
+def _reference_crawl(world, code, max_depth=7):
+    """The pre-dedup implementation: enqueue every link, skip repeat
+    pops.  Kept as an executable spec for the frontier-dedup rewrite."""
+    import collections
+
+    from repro.core.har import HarArchive
+    from repro.websim.webserver import GeoBlockedError, PageNotFoundError
+
+    browser = Browser(world.web)
+    vantage = world.vpn.vantage_for(code)
+    seeds = list(world.truth.directories[code])
+
+    archive = HarArchive(country=vantage.country)
+    depth_of, failed, visited = {}, [], set()
+    page_loads = 0
+    queue = collections.deque((seed, 0) for seed in seeds)
+    while queue:
+        url, depth = queue.popleft()
+        if url in visited:
+            continue
+        visited.add(url)
+        try:
+            load = browser.load(url, vantage)
+        except (PageNotFoundError, GeoBlockedError):
+            failed.append(url)
+            continue
+        page_loads += 1
+        for entry in load.entries:
+            if archive.add(entry):
+                depth_of[entry.url] = depth
+        if depth < max_depth:
+            queue.extend((link, depth + 1) for link in load.links)
+    return archive, depth_of, failed, page_loads
+
+
+@pytest.mark.parametrize("code", ["BR", "US"])
+def test_frontier_dedup_matches_reference(world, code):
+    """Deduplicating at enqueue time must not change any crawl output:
+    the processed sequence is the sequence of first queue occurrences
+    either way, so depths, failures and page loads are identical."""
+    archive, depth_of, failed, page_loads = _reference_crawl(world, code)
+    result = _crawl(world, code)
+    assert list(result.archive) == list(archive)
+    assert result.depth_of == depth_of
+    assert result.failed_urls == failed
+    assert result.page_loads == page_loads

@@ -51,3 +51,50 @@ def test_inspect_unknown_hostname(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_with_cache_warm_start(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    args = [
+        "run", "--seed", "5", "--scale", "0.05",
+        "--countries", "UY", "PY",
+        "--cache-dir", str(cache_dir),
+    ]
+    cold = tmp_path / "cold.jsonl"
+    assert main(args + ["--out", str(cold)]) == 0
+    cold_report = capsys.readouterr().out
+    assert "cache: 0 hits, 2 misses" in cold_report
+
+    warm = tmp_path / "warm.jsonl"
+    assert main(args + ["--out", str(warm)]) == 0
+    warm_report = capsys.readouterr().out
+    assert "cache: 2 hits, 0 misses (100% hit rate)" in warm_report
+    assert warm.read_bytes() == cold.read_bytes()
+
+
+def test_run_no_cache_overrides_cache_dir(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    out = tmp_path / "ds.jsonl"
+    assert main([
+        "run", "--seed", "5", "--scale", "0.05", "--countries", "UY",
+        "--cache-dir", str(cache_dir), "--no-cache", "--out", str(out),
+    ]) == 0
+    assert "cache:" not in capsys.readouterr().out
+    assert not list(cache_dir.glob("*/*.partial"))
+
+
+def test_run_cache_clear(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    base = ["run", "--seed", "5", "--scale", "0.05", "--countries", "UY",
+            "--cache-dir", str(cache_dir)]
+    assert main(base + ["--out", str(tmp_path / "a.jsonl")]) == 0
+    capsys.readouterr()
+    assert main(base + ["--cache-clear", "--out", str(tmp_path / "b.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "cache: cleared 1 entries" in out
+    assert "1 misses" in out  # cleared, so the run recomputed
+
+
+def test_run_cache_clear_requires_cache_dir(capsys):
+    assert main(["run", "--cache-clear"]) == 2
+    assert "--cache-clear requires --cache-dir" in capsys.readouterr().err

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.core.dataset import GovernmentHostingDataset
 from repro.io import (
     FORMAT_VERSION,
     export_csv,
@@ -89,3 +90,33 @@ def test_export_csv(tmp_path, dataset):
     lines = path.read_text().strip().splitlines()
     assert len(lines) == written + 1  # header
     assert lines[0].startswith("url,hostname,country")
+
+
+def test_record_with_unknown_country_reports_line(tmp_path, dataset):
+    # A record whose country is absent from the header's countries map
+    # must fail loudly (it used to be dropped silently), naming the line.
+    path = tmp_path / "stray.jsonl"
+    save_dataset(dataset, path)
+    lines = path.read_text().splitlines()
+    stray = json.loads(lines[2])
+    stray["country"] = "ZZ"
+    lines[2] = json.dumps(stray)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=r":3: .*'ZZ'.*countries map"):
+        load_dataset(path)
+
+
+def test_export_csv_empty_dataset_keeps_header(tmp_path, dataset):
+    # The CSV column set comes from the record shape, not from the first
+    # record, so an empty dataset still exports a well-formed header.
+    empty = GovernmentHostingDataset(
+        countries={}, validation=dataset.validation
+    )
+    path = tmp_path / "empty.csv"
+    assert export_csv(empty, path) == 0
+    full_path = tmp_path / "full.csv"
+    export_csv(dataset, full_path)
+    assert (
+        path.read_text().strip()
+        == full_path.read_text().splitlines()[0].strip()
+    )
