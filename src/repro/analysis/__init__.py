@@ -5,6 +5,7 @@ tables of the paper; the ``benchmarks/`` directory wires them to
 regeneration targets.
 """
 
+from repro.analysis.engine import AnalysisIndex, ensure_index
 from repro.analysis.hosting import (
     category_fractions,
     global_breakdown,
@@ -84,6 +85,8 @@ from repro.analysis.affordability import (
 )
 
 __all__ = [
+    "AnalysisIndex",
+    "ensure_index",
     "category_fractions",
     "global_breakdown",
     "regional_breakdown",

@@ -5,6 +5,11 @@ registration (Figure 9a) or server location (Figure 9b) -- plus the
 in-region retention shares of Table 5, the regional-affinity hosts,
 GDPR compliance of EU members and arbitrary bilateral shares (Mexico to
 the US, New Zealand to Australia, ...).
+
+All entry points accept a dataset (an index is built transparently and
+cached on it) or a prebuilt :class:`~repro.analysis.engine.AnalysisIndex`;
+the flows come straight out of the index's per-(source, destination)
+tables instead of a record scan per call.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Literal
 
-from repro.core.dataset import GovernmentHostingDataset
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.world.cities import EXTRA_TERRITORIES
 from repro.world.countries import COUNTRIES
 from repro.world.regions import Region
@@ -36,12 +41,6 @@ class CrossBorderFlow:
     byte_count: int
 
 
-def _destination(record, basis: Basis):
-    if basis == "registration":
-        return record.registered_country
-    return record.server_country
-
-
 def region_of(code: str) -> Region:
     """World Bank region of a sample country or hosting-only territory."""
     country = COUNTRIES.get(code)
@@ -53,18 +52,11 @@ def region_of(code: str) -> Region:
 
 
 def flows(
-    dataset: GovernmentHostingDataset, basis: Basis = "server"
+    dataset: DatasetOrIndex, basis: Basis = "server"
 ) -> list[CrossBorderFlow]:
     """Figure 9: all cross-border (source, destination) flows."""
-    counts: dict[tuple[str, str], list[int]] = {}
-    for record in dataset.iter_records():
-        destination = _destination(record, basis)
-        if destination is None or destination == record.country:
-            continue
-        key = (record.country, destination)
-        bucket = counts.setdefault(key, [0, 0])
-        bucket[0] += 1
-        bucket[1] += record.size_bytes
+    index = ensure_index(dataset)
+    counts = index.crossborder_counts(basis)
     return [
         CrossBorderFlow(source=s, destination=d, url_count=u, byte_count=b)
         for (s, d), (u, b) in sorted(counts.items())
@@ -72,7 +64,7 @@ def flows(
 
 
 def same_region_share(
-    dataset: GovernmentHostingDataset, basis: Basis = "server"
+    dataset: DatasetOrIndex, basis: Basis = "server"
 ) -> dict[Region, float]:
     """Table 5: share of cross-border dependencies staying in-region."""
     in_region: dict[Region, int] = {}
@@ -92,7 +84,7 @@ def same_region_share(
 
 
 def regional_affinity(
-    dataset: GovernmentHostingDataset, basis: Basis = "server"
+    dataset: DatasetOrIndex, basis: Basis = "server"
 ) -> dict[Region, dict[str, float]]:
     """Section 6.3: who hosts the *in-region* cross-border dependencies.
 
@@ -116,23 +108,26 @@ def regional_affinity(
     return result
 
 
-def gdpr_compliance(dataset: GovernmentHostingDataset) -> float:
+def gdpr_compliance(dataset: DatasetOrIndex) -> float:
     """Section 6.3: fraction of EU-government URLs served inside the EU."""
+    index = ensure_index(dataset)
     total = 0
     compliant = 0
-    for record in dataset.iter_records():
-        if record.country not in EU_MEMBER_CODES:
+    for code, counts in index.location_counts().items():
+        if code not in EU_MEMBER_CODES:
             continue
-        if record.server_country is None:
-            continue
-        total += 1
-        if record.server_country in EU_MEMBER_CODES:
-            compliant += 1
+        total += counts[2]       # records with a validated location
+        compliant += counts[3]   # served domestically (EU by definition)
+    for (source, destination), (url_count, _) in index.crossborder_counts(
+        "server"
+    ).items():
+        if source in EU_MEMBER_CODES and destination in EU_MEMBER_CODES:
+            compliant += url_count
     return compliant / total if total else 0.0
 
 
 def bilateral_share(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     source: str,
     destination: str,
     basis: Basis = "server",
@@ -144,20 +139,26 @@ def bilateral_share(
     """
     source = source.upper()
     destination = destination.upper()
-    total = 0
-    matching = 0
-    for record in dataset.countries[source].records:
-        dest = _destination(record, basis)
-        if basis == "server" and dest is None:
-            continue
-        total += 1
-        if dest == destination:
-            matching += 1
+    index = ensure_index(dataset)
+    index.span_of(source)  # KeyError for unknown countries, as before
+    counts = index.location_counts().get(source, (0, 0, 0, 0))
+    if basis == "registration":
+        total = counts[0]
+        domestic = counts[1]
+    else:
+        total = counts[2]
+        domestic = counts[3]
+    if destination == source:
+        matching = domestic
+    else:
+        matching = index.crossborder_counts(basis).get(
+            (source, destination), (0, 0)
+        )[0]
     return matching / total if total else 0.0
 
 
 def foreign_share_by_destination(
-    dataset: GovernmentHostingDataset, basis: Basis = "server"
+    dataset: DatasetOrIndex, basis: Basis = "server"
 ) -> dict[str, float]:
     """Share of all cross-border URLs each destination country hosts.
 

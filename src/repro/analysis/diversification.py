@@ -4,14 +4,22 @@ Measures each country's concentration across serving networks with the
 Herfindahl-Hirschman Index, then groups countries by the dominant
 source of their bytes (Govt&SOE, 3P Local, 3P Global) to reproduce the
 Figure 11 boxplots and the 63%-vs-32% single-network finding.
+
+Dataset-level functions accept a dataset (an index is built
+transparently and cached on it) or a prebuilt
+:class:`~repro.analysis.engine.AnalysisIndex`; :func:`hhi` and
+:func:`dominant_category` keep their raw share-vector/``CountryDataset``
+signatures.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
+from repro.analysis.hosting import fractions_of_counts
 from repro.categories import HostingCategory
-from repro.core.dataset import CountryDataset, GovernmentHostingDataset
+from repro.core.dataset import CountryDataset
 
 
 def hhi(shares: Sequence[float]) -> float:
@@ -26,26 +34,36 @@ def hhi(shares: Sequence[float]) -> float:
     return sum((value / total) ** 2 for value in shares)
 
 
-def _network_shares(
-    country_dataset: CountryDataset, by_bytes: bool
-) -> dict[int, float]:
-    totals: dict[int, float] = {}
-    for record in country_dataset.records:
-        weight = record.size_bytes if by_bytes else 1.0
-        totals[record.asn] = totals.get(record.asn, 0.0) + weight
-    return totals
-
-
 def country_network_hhi(
-    dataset: GovernmentHostingDataset, by_bytes: bool = False
+    dataset: DatasetOrIndex, by_bytes: bool = False
 ) -> dict[str, float]:
     """HHI over serving networks (ASes) per country."""
+    index = ensure_index(dataset)
+    counts = index.asn_counts()
     result: dict[str, float] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        shares = _network_shares(country_dataset, by_bytes)
-        if shares:
-            result[code] = hhi(list(shares.values()))
+    for code in sorted(counts):
+        stats = counts[code]
+        if stats:
+            # Values in first-appearance order -- the share order the
+            # record loop produced.
+            result[code] = hhi([
+                byte_sum if by_bytes else url_count
+                for url_count, byte_sum in stats.values()
+            ])
     return result
+
+
+def _dominant_of_byte_counts(
+    byte_counts: Sequence[int],
+) -> Optional[HostingCategory]:
+    mix = fractions_of_counts(byte_counts)
+    if not any(mix.values()):
+        return None
+    best = max(mix.values())
+    for category in HostingCategory:
+        if mix.get(category, 0.0) == best:
+            return category
+    return None  # pragma: no cover - mix keys are always HostingCategory
 
 
 def dominant_category(
@@ -69,14 +87,15 @@ def dominant_category(
 
 
 def hhi_by_dominant_category(
-    dataset: GovernmentHostingDataset, by_bytes: bool = False
+    dataset: DatasetOrIndex, by_bytes: bool = False
 ) -> dict[HostingCategory, list[float]]:
     """Figure 11: the HHI distribution per dominant-category group."""
-    values = country_network_hhi(dataset, by_bytes=by_bytes)
+    index = ensure_index(dataset)
+    values = country_network_hhi(index, by_bytes=by_bytes)
+    category_counts = index.category_counts()
     groups: dict[HostingCategory, list[float]] = {}
     for code, value in values.items():
-        country_dataset = dataset.countries[code]
-        group = dominant_category(country_dataset)
+        group = _dominant_of_byte_counts(category_counts[code][1])
         if group is None:
             continue
         groups.setdefault(group, []).append(value)
@@ -84,7 +103,7 @@ def hhi_by_dominant_category(
 
 
 def single_network_dependence(
-    dataset: GovernmentHostingDataset, threshold: float = 0.5
+    dataset: DatasetOrIndex, threshold: float = 0.5
 ) -> dict[HostingCategory, tuple[int, int]]:
     """Countries serving more than ``threshold`` of bytes from one network.
 
@@ -92,14 +111,17 @@ def single_network_dependence(
     group size) -- the paper's "63% (12/19) of Govt&SOE countries vs 32%
     (8/25) of Global ones".
     """
+    index = ensure_index(dataset)
+    asn_counts = index.asn_counts()
+    category_counts = index.category_counts()
     result: dict[HostingCategory, tuple[int, int]] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        group = dominant_category(country_dataset)
+    for code in sorted(asn_counts):
+        group = _dominant_of_byte_counts(category_counts[code][1])
         if group is None:
             continue
-        shares = _network_shares(country_dataset, by_bytes=True)
-        total = sum(shares.values())
-        top_share = max(shares.values()) / total if total else 0.0
+        byte_shares = [byte_sum for _url_count, byte_sum in asn_counts[code].values()]
+        total = sum(byte_shares)
+        top_share = max(byte_shares) / total if total else 0.0
         above, size = result.get(group, (0, 0))
         result[group] = (above + (1 if top_share > threshold else 0), size + 1)
     return result

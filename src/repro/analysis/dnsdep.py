@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core.dataset import GovernmentHostingDataset
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.datagen.generator import SyntheticWorld
-from repro.urltools import registrable_domain
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,18 +29,13 @@ class DnsDependencyReport:
 
 
 def _domains_by_country(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> dict[str, set[str]]:
-    result: dict[str, set[str]] = {}
-    for record in dataset.iter_records():
-        result.setdefault(record.country, set()).add(
-            registrable_domain(record.hostname)
-        )
-    return result
+    return ensure_index(dataset).domains_by_country()
 
 
 def country_dns_dependency(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> dict[str, DnsDependencyReport]:
     """Per-country third-party DNS dependency over measured domains."""
     reports: dict[str, DnsDependencyReport] = {}
@@ -77,7 +71,7 @@ def country_dns_dependency(
 
 
 def managed_dns_footprints(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> dict[int, int]:
     """Countries relying on each external DNS provider (asn -> count)."""
     per_provider: dict[int, set[str]] = {}
@@ -91,7 +85,7 @@ def managed_dns_footprints(
 
 
 def global_third_party_dns_share(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> float:
     """Share of all measured government domains on third-party DNS."""
     total = 0

@@ -1,0 +1,23 @@
+"""Single-pass columnar analysis engine for the Section 5-7 report layer.
+
+:mod:`repro.analysis.engine.index` holds the columnar
+:class:`AnalysisIndex`; :mod:`repro.analysis.engine.baseline` keeps the
+pre-engine record-loop implementations as the equivalence-test and
+benchmark reference.
+"""
+
+from repro.analysis.engine.index import (
+    CATEGORIES,
+    AnalysisIndex,
+    DatasetOrIndex,
+    ensure_index,
+    underlying_dataset,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "AnalysisIndex",
+    "DatasetOrIndex",
+    "ensure_index",
+    "underlying_dataset",
+]

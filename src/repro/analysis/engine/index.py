@@ -1,0 +1,506 @@
+"""Columnar analysis index over an assembled dataset.
+
+Rendering the full paper report used to walk ``iter_records()`` about
+fifteen times: every Section 5-7 analysis re-derived its own per-country
+tallies from the same million-record dataset.  :class:`AnalysisIndex`
+replaces those repeated record scans with **one** pass that transposes
+the per-country record lists into compact parallel columns (stdlib
+``array`` buffers: category codes, sizes, ASNs, addresses, interned
+country/registration/server ids, boolean flags), plus lazily memoized
+aggregate tables derived from the columns with NumPy -- per-country
+category URL/byte totals, registration and server-location splits,
+per-(source, destination) cross-border flows, per-(country, ASN)
+provider footprints, HHI inputs and the Table 3 summary counts.
+
+Exactness contract
+------------------
+Every aggregate reproduces the record-loop implementations *bit for
+bit*.  All tallies are integer counts and integer byte sums, which the
+legacy float accumulators represent exactly (every intermediate value
+is an integer far below 2**53), and the final float divisions and
+float summations happen in the same order as the record loops, so each
+derived fraction, mean and HHI is the identical double.  The
+equivalence suite (``tests/analysis/test_engine_equivalence.py``)
+asserts this against the reference implementations in
+:mod:`repro.analysis.engine.baseline`, including byte-identical
+paper-report text.
+
+Mutability contract
+-------------------
+The index snapshots the records at build time.  Records are immutable
+once materialized (the pipeline never rewrites a ``CountryDataset``),
+so the index cached on a dataset by :meth:`AnalysisIndex.ensure` never
+needs invalidation.  The per-record ``country`` field is assumed to
+match the ``CountryDataset`` key it lives under -- true for every
+dataset the pipeline or ``repro.io`` produces.
+"""
+
+from __future__ import annotations
+
+from array import array
+from functools import cached_property
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.categories import HostingCategory
+from repro.core.dataset import DatasetSummary, GovernmentHostingDataset
+from repro.urltools import registrable_domain
+from repro.world.countries import COUNTRIES
+
+#: Category code space of the ``categories`` column, in declaration order.
+CATEGORIES: tuple[HostingCategory, ...] = tuple(HostingCategory)
+_CATEGORY_CODE = {category: code for code, category in enumerate(CATEGORIES)}
+
+#: Attribute under which :meth:`AnalysisIndex.ensure` caches the index.
+_CACHE_ATTRIBUTE = "_analysis_index"
+
+
+class _Interner(dict):
+    """Dense first-seen interning: ``interner[key]`` assigns the next id."""
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table: list = []
+
+    def __missing__(self, key) -> int:
+        index = len(self.table)
+        self[key] = index
+        self.table.append(key)
+        return index
+
+
+class _Columns:
+    """NumPy views over the columnar buffers (zero-copy where possible)."""
+
+    __slots__ = (
+        "sizes", "addresses", "asns", "categories",
+        "gov", "anycast", "countries", "registered", "server",
+        "organizations",
+    )
+
+    def __init__(self, index: "AnalysisIndex") -> None:
+        self.sizes = _view(index._size_col, np.int64)
+        self.addresses = _view(index._addr_col, np.int64)
+        self.asns = _view(index._asn_col, np.int64)
+        self.categories = _view(index._cat_col, np.uint8)
+        self.gov = _view(index._gov_col, np.uint8)
+        self.anycast = _view(index._anycast_col, np.uint8)
+        self.countries = _view(index._cc_col, np.intc)
+        self.registered = _view(index._reg_col, np.intc)
+        self.server = _view(index._srv_col, np.intc)
+        self.organizations = _view(index._org_col, np.intc)
+
+
+def _view(column: array, dtype) -> np.ndarray:
+    if not len(column):
+        return np.zeros(0, dtype=dtype)
+    return np.frombuffer(column, dtype=dtype)
+
+
+class AnalysisIndex:
+    """One-pass columnar index with memoized Section 5-7 aggregate tables.
+
+    Build with :meth:`build` (always a fresh scan) or :meth:`ensure`
+    (transparently builds once and caches the index on the dataset).
+    Every aggregate accessor is lazy and memoized: the first caller of a
+    table family pays one vectorized pass over the columns, every later
+    caller -- including every other analysis sharing the table -- reads
+    the memo.
+    """
+
+    def __init__(self, dataset: GovernmentHostingDataset) -> None:
+        self._dataset = dataset
+        self._size_col = array("q")
+        self._addr_col = array("q")
+        self._asn_col = array("q")
+        self._cat_col = array("B")
+        self._gov_col = array("B")
+        self._anycast_col = array("B")
+        self._cc_col = array("i")
+        self._reg_col = array("i")
+        self._srv_col = array("i")
+        self._org_col = array("i")
+        self._countries = _Interner()
+        self._countries[None] = -1  # excluded server locations
+        self._organizations = _Interner()
+        #: (code, country id, start, stop) per country, dataset order.
+        self._spans: list[tuple[str, int, int, int]] = []
+        self._span_by_code: dict[str, tuple[int, int, int]] = {}
+        self._crossborder_tables: dict[str, dict] = {}
+        self._scan(dataset)
+
+    # ------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, dataset: GovernmentHostingDataset) -> "AnalysisIndex":
+        """Construct a fresh index: the one record scan of an analysis run."""
+        return cls(dataset)
+
+    @classmethod
+    def ensure(
+        cls, source: Union[GovernmentHostingDataset, "AnalysisIndex"]
+    ) -> "AnalysisIndex":
+        """Return ``source`` if it already is an index, else build-and-cache.
+
+        The built index is cached on the dataset instance, so every
+        analysis function called with the same dataset shares one index
+        (records are immutable once materialized -- no invalidation).
+        """
+        if isinstance(source, cls):
+            return source
+        index = getattr(source, _CACHE_ATTRIBUTE, None)
+        if index is None:
+            index = cls.build(source)
+            setattr(source, _CACHE_ATTRIBUTE, index)
+        return index
+
+    def _scan(self, dataset: GovernmentHostingDataset) -> None:
+        cat_code = _CATEGORY_CODE
+        countries = self._countries
+        organizations = self._organizations
+        for code, country_dataset in dataset.countries.items():
+            country_id = countries[code]
+            records = country_dataset.records
+            start = len(self._size_col)
+            if records:
+                # C-level transpose of the per-country record list; the
+                # column order mirrors the UrlRecord field order.
+                (_, _, _, sizes, _, _, addresses, asns, organizations_, regs,
+                 govs, cats, servers, anycasts, _) = zip(*records)
+                self._size_col.extend(sizes)
+                self._addr_col.extend(addresses)
+                self._asn_col.extend(asns)
+                self._cat_col.extend(map(cat_code.__getitem__, cats))
+                self._gov_col.extend(govs)
+                self._anycast_col.extend(anycasts)
+                self._cc_col.extend([country_id] * len(records))
+                self._reg_col.extend(map(countries.__getitem__, regs))
+                self._srv_col.extend(map(countries.__getitem__, servers))
+                self._org_col.extend(map(organizations.__getitem__, organizations_))
+            stop = len(self._size_col)
+            self._spans.append((code, country_id, start, stop))
+            self._span_by_code[code] = (country_id, start, stop)
+
+    # ------------------------------------------------------- basic shape
+
+    @property
+    def dataset(self) -> GovernmentHostingDataset:
+        """The dataset the index was built from."""
+        return self._dataset
+
+    @property
+    def record_count(self) -> int:
+        return len(self._size_col)
+
+    def span_of(self, code: str) -> tuple[int, int, int]:
+        """(country id, start, stop) of ``code``; KeyError when unknown."""
+        return self._span_by_code[code]
+
+    def _populated_spans(self) -> Iterator[tuple[str, int, int, int]]:
+        for code, country_id, start, stop in self._spans:
+            if stop > start:
+                yield code, country_id, start, stop
+
+    @cached_property
+    def _cols(self) -> _Columns:
+        return _Columns(self)
+
+    # -------------------------------------------------- category tables
+
+    @cached_property
+    def _category_table(self) -> dict[str, tuple[tuple[int, ...], tuple[int, ...]]]:
+        cols = self._cols
+        n_categories = len(CATEGORIES)
+        table: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        for code, _country_id, start, stop in self._populated_spans():
+            codes = cols.categories[start:stop]
+            url_counts = np.bincount(codes, minlength=n_categories)
+            byte_sums = np.bincount(
+                codes, weights=cols.sizes[start:stop], minlength=n_categories
+            )
+            table[code] = (
+                tuple(int(value) for value in url_counts),
+                tuple(int(value) for value in byte_sums),
+            )
+        return table
+
+    def category_counts(self) -> dict[str, tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Per-country ``(URL counts, byte sums)`` per category code.
+
+        Keys follow dataset order and omit countries without records;
+        tuples follow :data:`CATEGORIES` (``HostingCategory``) order.
+        """
+        return self._category_table
+
+    @cached_property
+    def _global_category_totals(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        url_totals = [0] * len(CATEGORIES)
+        byte_totals = [0] * len(CATEGORIES)
+        for url_counts, byte_sums in self._category_table.values():
+            for i, value in enumerate(url_counts):
+                url_totals[i] += value
+            for i, value in enumerate(byte_sums):
+                byte_totals[i] += value
+        return tuple(url_totals), tuple(byte_totals)
+
+    def global_category_counts(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Dataset-wide ``(URL counts, byte sums)`` per category code."""
+        return self._global_category_totals
+
+    # -------------------------------------------------- location tables
+
+    @cached_property
+    def _location_table(self) -> dict[str, tuple[int, int, int, int]]:
+        cols = self._cols
+        table: dict[str, tuple[int, int, int, int]] = {}
+        for code, country_id, start, stop in self._populated_spans():
+            registered = cols.registered[start:stop]
+            server = cols.server[start:stop]
+            table[code] = (
+                stop - start,
+                int(np.count_nonzero(registered == country_id)),
+                int(np.count_nonzero(server >= 0)),
+                int(np.count_nonzero(server == country_id)),
+            )
+        return table
+
+    def location_counts(self) -> dict[str, tuple[int, int, int, int]]:
+        """Per-country ``(records, registration-domestic, located, server-domestic)``.
+
+        ``located`` counts records whose server location was validated
+        (the geolocation view's denominator); keys follow dataset order
+        and omit countries without records.
+        """
+        return self._location_table
+
+    # ------------------------------------------------ cross-border flows
+
+    def crossborder_counts(
+        self, basis: str = "server"
+    ) -> dict[tuple[str, str], tuple[int, int]]:
+        """``(source, destination) -> (URL count, byte count)`` flows.
+
+        ``basis`` selects the destination view: the validated server
+        country, or -- for ``"registration"`` -- the WHOIS registration
+        country (mirroring ``crossborder._destination``).  Domestic and
+        unlocated records carry no flow.
+        """
+        key = "registration" if basis == "registration" else "server"
+        table = self._crossborder_tables.get(key)
+        if table is None:
+            table = self._build_crossborder(key)
+            self._crossborder_tables[key] = table
+        return table
+
+    def _build_crossborder(self, basis: str) -> dict[tuple[str, str], tuple[int, int]]:
+        cols = self._cols
+        destination_col = cols.registered if basis == "registration" else cols.server
+        country_table = self._countries.table
+        table: dict[tuple[str, str], tuple[int, int]] = {}
+        for code, country_id, start, stop in self._populated_spans():
+            destinations = destination_col[start:stop]
+            if basis == "registration":
+                mask = destinations != country_id
+            else:
+                mask = (destinations >= 0) & (destinations != country_id)
+            if not mask.any():
+                continue
+            selected = destinations[mask]
+            unique, inverse = np.unique(selected, return_inverse=True)
+            url_counts = np.bincount(inverse)
+            byte_sums = np.bincount(inverse, weights=cols.sizes[start:stop][mask])
+            for i, destination_id in enumerate(unique.tolist()):
+                table[(code, country_table[destination_id])] = (
+                    int(url_counts[i]),
+                    int(byte_sums[i]),
+                )
+        return table
+
+    # --------------------------------------------------- provider tables
+
+    @cached_property
+    def _asn_info(self) -> tuple[
+        dict[str, dict[int, tuple[int, int]]],  # per-country ASN stats
+        dict[int, str],                          # first-seen organization
+        tuple[int, ...],                         # global first-seen order
+        dict[int, set],                          # continents served
+        set,                                     # government-operated ASNs
+    ]:
+        cols = self._cols
+        organization_table = self._organizations.table
+        per_country: dict[str, dict[int, tuple[int, int]]] = {}
+        organization_by_asn: dict[int, str] = {}
+        first_seen: list[int] = []
+        continents: dict[int, set] = {}
+        gov_asns: set = set()
+        for code, _country_id, start, stop in self._populated_spans():
+            span_asns = cols.asns[start:stop]
+            unique, first, inverse = np.unique(
+                span_asns, return_index=True, return_inverse=True
+            )
+            order = np.argsort(first)
+            url_counts = np.bincount(inverse)
+            byte_sums = np.bincount(inverse, weights=cols.sizes[start:stop])
+            country = COUNTRIES.get(code)
+            stats: dict[int, tuple[int, int]] = {}
+            for i in order.tolist():
+                asn = int(unique[i])
+                stats[asn] = (int(url_counts[i]), int(byte_sums[i]))
+                if asn not in organization_by_asn:
+                    first_seen.append(asn)
+                    organization_by_asn[asn] = organization_table[
+                        cols.organizations[start + int(first[i])]
+                    ]
+                if country is not None:
+                    continents.setdefault(asn, set()).add(country.continent)
+            per_country[code] = stats
+            gov_mask = cols.gov[start:stop] != 0
+            if gov_mask.any():
+                gov_asns.update(
+                    int(asn) for asn in np.unique(span_asns[gov_mask])
+                )
+        return per_country, organization_by_asn, tuple(first_seen), continents, gov_asns
+
+    def asn_counts(self) -> dict[str, dict[int, tuple[int, int]]]:
+        """Per-country ``asn -> (URL count, byte sum)`` tables.
+
+        Outer keys follow dataset order (countries with records only);
+        inner keys follow each ASN's first appearance in that country's
+        records -- the insertion order the HHI computation depends on.
+        """
+        return self._asn_info[0]
+
+    def organization_by_asn(self) -> dict[int, str]:
+        """First-seen organization name per ASN, in record order."""
+        return self._asn_info[1]
+
+    def asn_first_seen(self) -> tuple[int, ...]:
+        """Every ASN in global first-appearance order."""
+        return self._asn_info[2]
+
+    def continents_by_asn(self) -> dict[int, set]:
+        """Continents each ASN serves governments on (Global definition)."""
+        return self._asn_info[3]
+
+    def gov_asns(self) -> set:
+        """ASNs carrying at least one government-operated record."""
+        return self._asn_info[4]
+
+    @cached_property
+    def _country_totals(self) -> tuple[dict[str, int], dict[str, int]]:
+        url_totals: dict[str, int] = {}
+        byte_totals: dict[str, int] = {}
+        for code, (url_counts, byte_sums) in self._category_table.items():
+            url_totals[code] = sum(url_counts)
+            byte_totals[code] = sum(byte_sums)
+        return url_totals, byte_totals
+
+    def country_url_totals(self) -> dict[str, int]:
+        """Record count per country (countries with records only)."""
+        return self._country_totals[0]
+
+    def country_byte_totals(self) -> dict[str, int]:
+        """Byte sum per country (countries with records only)."""
+        return self._country_totals[1]
+
+    # ------------------------------------------------- regression inputs
+
+    @cached_property
+    def _address_location_table(self) -> dict[str, tuple[int, int]]:
+        cols = self._cols
+        table: dict[str, tuple[int, int]] = {}
+        for code, country_id, start, stop in sorted(self._populated_spans()):
+            server = cols.server[start:stop]
+            included = server >= 0
+            if not included.any():
+                continue
+            addresses = cols.addresses[start:stop]
+            domestic = np.unique(addresses[server == country_id])
+            foreign = np.unique(addresses[included & (server != country_id)])
+            table[code] = (
+                int(foreign.size),
+                int(np.union1d(domestic, foreign).size),
+            )
+        return table
+
+    def address_location_counts(self) -> dict[str, tuple[int, int]]:
+        """Per-country ``(foreign server IPs, total server IPs)`` counts.
+
+        Sorted by country code; countries without any located record are
+        omitted -- exactly the Appendix E outcome-variable inputs.
+        """
+        return self._address_location_table
+
+    # -------------------------------------------------- hostname tables
+
+    @cached_property
+    def _domains_by_country(self) -> dict[str, set[str]]:
+        return {
+            code: {
+                registrable_domain(hostname)
+                for hostname in self._dataset.countries[code].hostnames
+            }
+            for code, _country_id, start, stop in self._populated_spans()
+        }
+
+    def domains_by_country(self) -> dict[str, set[str]]:
+        """Registrable government domains per country (dataset order)."""
+        return self._domains_by_country
+
+    # ------------------------------------------------------ summary
+
+    @cached_property
+    def _summary(self) -> DatasetSummary:
+        cols = self._cols
+        dataset = self._dataset
+        landing = sum(cd.landing_count for cd in dataset.countries.values())
+        total = self.record_count
+        hostnames: set[str] = set()
+        for country_dataset in dataset.countries.values():
+            hostnames |= country_dataset.hostnames
+        anycast_mask = cols.anycast != 0
+        unique_server_ids = np.unique(cols.server)
+        return DatasetSummary(
+            landing_urls=landing,
+            internal_urls=max(0, total - landing),
+            total_unique_urls=total,
+            unique_hostnames=len(hostnames),
+            ases=len(self.organization_by_asn()),
+            government_ases=len(self.gov_asns()),
+            unique_addresses=int(np.unique(cols.addresses).size),
+            anycast_addresses=int(np.unique(cols.addresses[anycast_mask]).size),
+            countries_with_servers=int(np.count_nonzero(unique_server_ids >= 0)),
+        )
+
+    def summary(self) -> DatasetSummary:
+        """The Table 3 headline numbers (equals ``dataset.summarize()``)."""
+        return self._summary
+
+
+#: Either a dataset or a prebuilt index -- what every rewritten Section
+#: 5-7 analysis function accepts.
+DatasetOrIndex = Union[GovernmentHostingDataset, AnalysisIndex]
+
+
+def ensure_index(source: DatasetOrIndex) -> AnalysisIndex:
+    """Resolve ``source`` to an :class:`AnalysisIndex` (building if needed)."""
+    return AnalysisIndex.ensure(source)
+
+
+def underlying_dataset(source: DatasetOrIndex) -> GovernmentHostingDataset:
+    """The dataset behind ``source`` (identity for plain datasets)."""
+    if isinstance(source, AnalysisIndex):
+        return source.dataset
+    return source
+
+
+__all__ = [
+    "CATEGORIES",
+    "AnalysisIndex",
+    "DatasetOrIndex",
+    "ensure_index",
+    "underlying_dataset",
+]

@@ -6,14 +6,20 @@ URL/byte-weighted over the whole dataset; regional breakdowns
 (Figure 4) default to country-mean weighting so giant crawls (Belgium,
 Hungary) do not erase the regional signal -- both weightings are
 exposed.
+
+Dataset-level functions accept either a dataset (an
+:class:`~repro.analysis.engine.AnalysisIndex` is built transparently
+and cached on it) or a prebuilt index; :func:`category_fractions`
+keeps the raw record-pool signature for callers holding record lists.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import Iterable, Literal, Sequence
 
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.categories import HostingCategory
-from repro.core.dataset import GovernmentHostingDataset, UrlRecord
+from repro.core.dataset import UrlRecord
 from repro.world.countries import get_country
 from repro.world.regions import Region
 
@@ -33,28 +39,48 @@ def category_fractions(
     return {cat: value / grand_total for cat, value in totals.items()}
 
 
+def fractions_of_counts(counts: Sequence[int]) -> dict[HostingCategory, float]:
+    """:func:`category_fractions` over per-category integer tallies.
+
+    ``counts`` follows ``HostingCategory`` declaration order (the index
+    category-code space); the float arithmetic matches the record loop
+    exactly.
+    """
+    totals = {
+        category: float(count) for category, count in zip(HostingCategory, counts)
+    }
+    grand_total = sum(totals.values())
+    if grand_total == 0:
+        return totals
+    return {cat: value / grand_total for cat, value in totals.items()}
+
+
 def global_breakdown(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> dict[str, dict[HostingCategory, float]]:
-    """Figure 2: global prevalence of each category, by URLs and bytes."""
-    records = list(dataset.iter_records())
+    """Figure 2: global prevalence of each category, by URLs and bytes.
+
+    Both weightings come from one set of index tallies -- no record
+    list is materialized.
+    """
+    index = ensure_index(dataset)
+    url_counts, byte_sums = index.global_category_counts()
     return {
-        "urls": category_fractions(records, by_bytes=False),
-        "bytes": category_fractions(records, by_bytes=True),
+        "urls": fractions_of_counts(url_counts),
+        "bytes": fractions_of_counts(byte_sums),
     }
 
 
 def country_breakdown(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> dict[str, dict[str, dict[HostingCategory, float]]]:
     """Per-country URL and byte category mixes."""
+    index = ensure_index(dataset)
     result: dict[str, dict[str, dict[HostingCategory, float]]] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
-            continue
+    for code, (url_counts, byte_sums) in sorted(index.category_counts().items()):
         result[code] = {
-            "urls": country_dataset.category_url_fractions(),
-            "bytes": country_dataset.category_byte_fractions(),
+            "urls": fractions_of_counts(url_counts),
+            "bytes": fractions_of_counts(byte_sums),
         }
     return result
 
@@ -71,51 +97,51 @@ def _mean_mixes(
 
 
 def regional_breakdown(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     by_bytes: bool = False,
     weighting: Weighting = "country",
 ) -> dict[Region, dict[HostingCategory, float]]:
     """Figure 4: category mix per World Bank region.
 
     ``weighting='country'`` averages per-country mixes (each government
-    counts once); ``'url'`` pools all records of the region.
+    counts once); ``'url'`` pools all records of the region -- summing
+    the per-country tallies, without materializing a pooled record
+    list.
     """
-    by_region: dict[Region, list] = {}
-    for code, country_dataset in dataset.countries.items():
-        if not country_dataset.records:
-            continue
+    index = ensure_index(dataset)
+    by_region: dict[Region, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
+    for code, counts in index.category_counts().items():
         region = get_country(code).region
-        by_region.setdefault(region, []).append(country_dataset)
+        by_region.setdefault(region, []).append(counts)
     result: dict[Region, dict[HostingCategory, float]] = {}
-    for region, country_datasets in by_region.items():
+    for region, tallies in by_region.items():
         if weighting == "country":
             mixes = [
-                cd.category_byte_fractions() if by_bytes else cd.category_url_fractions()
-                for cd in country_datasets
+                fractions_of_counts(byte_sums if by_bytes else url_counts)
+                for url_counts, byte_sums in tallies
             ]
             result[region] = _mean_mixes(mixes)
         else:
-            pooled = [record for cd in country_datasets for record in cd.records]
-            result[region] = category_fractions(pooled, by_bytes=by_bytes)
+            pooled = [0] * len(HostingCategory)
+            for url_counts, byte_sums in tallies:
+                selected = byte_sums if by_bytes else url_counts
+                for i, value in enumerate(selected):
+                    pooled[i] += value
+            result[region] = fractions_of_counts(pooled)
     return result
 
 
 def country_majority(
-    dataset: GovernmentHostingDataset, by_bytes: bool = True
+    dataset: DatasetOrIndex, by_bytes: bool = True
 ) -> dict[str, str]:
     """Figure 1: whether each country's traffic is majority third-party.
 
     Returns ``"3P"`` or ``"Govt&SOE"`` per country code.
     """
+    index = ensure_index(dataset)
     result: dict[str, str] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
-            continue
-        mix = (
-            country_dataset.category_byte_fractions()
-            if by_bytes
-            else country_dataset.category_url_fractions()
-        )
+    for code, (url_counts, byte_sums) in sorted(index.category_counts().items()):
+        mix = fractions_of_counts(byte_sums if by_bytes else url_counts)
         third_party = sum(
             share for category, share in mix.items() if category.is_third_party
         )
@@ -126,6 +152,7 @@ def country_majority(
 __all__ = [
     "Weighting",
     "category_fractions",
+    "fractions_of_counts",
     "global_breakdown",
     "country_breakdown",
     "regional_breakdown",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.core.dataset import GovernmentHostingDataset
+from repro.analysis.engine.index import DatasetOrIndex, underlying_dataset
 from repro.datagen.generator import SyntheticWorld
 from repro.world.countries import get_country
 
@@ -29,9 +29,10 @@ class HttpsReport:
 
 
 def country_https_adoption(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> dict[str, HttpsReport]:
     """Per-country certificate and validity rates over measured hostnames."""
+    dataset = underlying_dataset(dataset)
     reports: dict[str, HttpsReport] = {}
     for code, country_dataset in sorted(dataset.countries.items()):
         hostnames = country_dataset.hostnames
@@ -57,10 +58,15 @@ def country_https_adoption(
 
 
 def global_https_prevalence(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> tuple[float, float]:
-    """(certificate rate, valid-certificate rate) over all hostnames."""
+    """(certificate rate, valid-certificate rate) over all hostnames.
+
+    Hostname sets are memoized on each ``CountryDataset``, so repeated
+    calls (and the paper report) never rebuild them from the records.
+    """
     total = have = valid = 0
+    dataset = underlying_dataset(dataset)
     for country_dataset in dataset.countries.values():
         for hostname in country_dataset.hostnames:
             total += 1
@@ -75,7 +81,7 @@ def global_https_prevalence(
 
 
 def https_development_correlation(
-    world: SyntheticWorld, dataset: GovernmentHostingDataset
+    world: SyntheticWorld, dataset: DatasetOrIndex
 ) -> float:
     """Pearson correlation between EGDI and valid-HTTPS rates."""
     import math

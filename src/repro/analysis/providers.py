@@ -4,14 +4,18 @@ Identifies Global providers from the measured dataset (non-government
 networks serving governments across multiple continents), counts how
 many countries rely on each, and computes per-(provider, country) byte
 reliance -- the inputs of Figure 10's histogram and CDF.
+
+All entry points accept a dataset (an index is built transparently and
+cached on it) or a prebuilt :class:`~repro.analysis.engine.AnalysisIndex`;
+the provider footprints come out of the index's per-(country, ASN)
+tables instead of three record scans per call.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.core.dataset import GovernmentHostingDataset
-from repro.world.countries import COUNTRIES
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,20 +28,11 @@ class ProviderFootprint:
     countries: tuple[str, ...]
 
 
-def _continents_served(dataset: GovernmentHostingDataset) -> dict[int, set]:
-    continents: dict[int, set] = {}
-    for record in dataset.iter_records():
-        country = COUNTRIES.get(record.country)
-        if country is None:
-            continue
-        continents.setdefault(record.asn, set()).add(country.continent)
-    return continents
-
-
-def global_provider_asns(dataset: GovernmentHostingDataset) -> set[int]:
+def global_provider_asns(dataset: DatasetOrIndex) -> set[int]:
     """ASNs meeting the Global definition in the measured data."""
-    continents = _continents_served(dataset)
-    gov_asns = {r.asn for r in dataset.iter_records() if r.gov_operated}
+    index = ensure_index(dataset)
+    continents = index.continents_by_asn()
+    gov_asns = index.gov_asns()
     return {
         asn
         for asn, cset in continents.items()
@@ -46,21 +41,21 @@ def global_provider_asns(dataset: GovernmentHostingDataset) -> set[int]:
 
 
 def global_provider_footprints(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> list[ProviderFootprint]:
     """Figure 10 (histogram): countries relying on each Global provider."""
-    global_asns = global_provider_asns(dataset)
+    index = ensure_index(dataset)
+    global_asns = global_provider_asns(index)
+    names = index.organization_by_asn()
     countries_by_asn: dict[int, set[str]] = {}
-    name_by_asn: dict[int, str] = {}
-    for record in dataset.iter_records():
-        if record.asn not in global_asns:
-            continue
-        countries_by_asn.setdefault(record.asn, set()).add(record.country)
-        name_by_asn.setdefault(record.asn, record.organization)
+    for code, stats in index.asn_counts().items():
+        for asn in stats:
+            if asn in global_asns:
+                countries_by_asn.setdefault(asn, set()).add(code)
     footprints = [
         ProviderFootprint(
             asn=asn,
-            name=name_by_asn[asn],
+            name=names[asn],
             country_count=len(countries),
             countries=tuple(sorted(countries)),
         )
@@ -71,7 +66,7 @@ def global_provider_footprints(
 
 
 def provider_byte_reliance(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> dict[tuple[int, str], float]:
     """Byte share each Global provider serves of each country's total.
 
@@ -80,16 +75,14 @@ def provider_byte_reliance(
     Cloudflare 72% for an Eastern European one, Hetzner 57% for a
     Scandinavian one).
     """
-    global_asns = global_provider_asns(dataset)
-    country_totals: dict[str, int] = {}
+    index = ensure_index(dataset)
+    global_asns = global_provider_asns(index)
+    country_totals = index.country_byte_totals()
     pair_bytes: dict[tuple[int, str], int] = {}
-    for record in dataset.iter_records():
-        country_totals[record.country] = (
-            country_totals.get(record.country, 0) + record.size_bytes
-        )
-        if record.asn in global_asns:
-            key = (record.asn, record.country)
-            pair_bytes[key] = pair_bytes.get(key, 0) + record.size_bytes
+    for code, stats in index.asn_counts().items():
+        for asn, (_url_count, byte_sum) in stats.items():
+            if asn in global_asns:
+                pair_bytes[(asn, code)] = byte_sum
     return {
         (asn, country): byte_count / country_totals[country]
         for (asn, country), byte_count in sorted(pair_bytes.items())
@@ -98,16 +91,15 @@ def provider_byte_reliance(
 
 
 def top_reliances(
-    dataset: GovernmentHostingDataset, limit: int = 5
+    dataset: DatasetOrIndex, limit: int = 5
 ) -> list[tuple[str, int, str, float]]:
     """The highest per-country byte reliances on a single Global provider.
 
     Returns (provider organization, asn, country, byte fraction).
     """
-    reliance = provider_byte_reliance(dataset)
-    names: dict[int, str] = {}
-    for record in dataset.iter_records():
-        names.setdefault(record.asn, record.organization)
+    index = ensure_index(dataset)
+    reliance = provider_byte_reliance(index)
+    names = index.organization_by_asn()
     ranked = sorted(reliance.items(), key=lambda item: -item[1])[:limit]
     return [
         (names.get(asn, f"AS{asn}"), asn, country, fraction)

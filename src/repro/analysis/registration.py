@@ -4,6 +4,12 @@ Two views per government URL: the WHOIS country of registration of the
 serving organization, and the validated physical server location.
 URLs whose server location was excluded by the geolocation process are
 dropped from the location view only.
+
+Dataset-level functions accept a dataset (an index is built
+transparently and cached on it) or a prebuilt
+:class:`~repro.analysis.engine.AnalysisIndex`;
+:func:`registration_split` / :func:`server_split` keep the raw
+record-pool signatures.
 """
 
 from __future__ import annotations
@@ -11,8 +17,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable
 
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.analysis.hosting import Weighting
-from repro.core.dataset import GovernmentHostingDataset, UrlRecord
+from repro.core.dataset import UrlRecord
 from repro.world.countries import get_country
 from repro.world.regions import Region
 
@@ -61,30 +68,43 @@ def server_split(records: Iterable[UrlRecord]) -> LocationSplit:
     return _split(domestic, total)
 
 
-def global_split(dataset: GovernmentHostingDataset) -> dict[str, LocationSplit]:
+def _split_of_counts(counts: tuple[int, int, int, int], view: str) -> LocationSplit:
+    """Build one view's split from an index location tally."""
+    total, registration_domestic, located, server_domestic = counts
+    if view == "whois":
+        return _split(registration_domestic, total)
+    return _split(server_domestic, located)
+
+
+def global_split(dataset: DatasetOrIndex) -> dict[str, LocationSplit]:
     """Figure 6: global WHOIS and geolocation splits."""
-    records = list(dataset.iter_records())
+    index = ensure_index(dataset)
+    total = registration_domestic = located = server_domestic = 0
+    for counts in index.location_counts().values():
+        total += counts[0]
+        registration_domestic += counts[1]
+        located += counts[2]
+        server_domestic += counts[3]
     return {
-        "whois": registration_split(records),
-        "geolocation": server_split(records),
+        "whois": _split(registration_domestic, total),
+        "geolocation": _split(server_domestic, located),
     }
 
 
-def country_split(dataset: GovernmentHostingDataset) -> dict[str, dict[str, LocationSplit]]:
+def country_split(dataset: DatasetOrIndex) -> dict[str, dict[str, LocationSplit]]:
     """Per-country WHOIS and geolocation splits."""
+    index = ensure_index(dataset)
     result: dict[str, dict[str, LocationSplit]] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
-            continue
+    for code, counts in sorted(index.location_counts().items()):
         result[code] = {
-            "whois": registration_split(country_dataset.records),
-            "geolocation": server_split(country_dataset.records),
+            "whois": _split_of_counts(counts, "whois"),
+            "geolocation": _split_of_counts(counts, "geolocation"),
         }
     return result
 
 
 def regional_split(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     view: str = "geolocation",
     weighting: Weighting = "country",
 ) -> dict[Region, LocationSplit]:
@@ -95,16 +115,14 @@ def regional_split(
     """
     if view not in ("whois", "geolocation"):
         raise ValueError(f"unknown view {view!r}")
-    split_fn = registration_split if view == "whois" else server_split
-    by_region: dict[Region, list] = {}
-    for code, country_dataset in dataset.countries.items():
-        if not country_dataset.records:
-            continue
-        by_region.setdefault(get_country(code).region, []).append(country_dataset)
+    index = ensure_index(dataset)
+    by_region: dict[Region, list[tuple[int, int, int, int]]] = {}
+    for code, counts in index.location_counts().items():
+        by_region.setdefault(get_country(code).region, []).append(counts)
     result: dict[Region, LocationSplit] = {}
-    for region, country_datasets in by_region.items():
+    for region, tallies in by_region.items():
         if weighting == "country":
-            splits = [split_fn(cd.records) for cd in country_datasets]
+            splits = [_split_of_counts(counts, view) for counts in tallies]
             splits = [s for s in splits if s.domestic + s.international > 0]
             if not splits:
                 result[region] = LocationSplit(0.0, 0.0)
@@ -112,8 +130,13 @@ def regional_split(
             domestic = sum(s.domestic for s in splits) / len(splits)
             result[region] = LocationSplit(domestic, 1.0 - domestic)
         else:
-            pooled = [record for cd in country_datasets for record in cd.records]
-            result[region] = split_fn(pooled)
+            total = sum(
+                counts[0] if view == "whois" else counts[2] for counts in tallies
+            )
+            domestic = sum(
+                counts[1] if view == "whois" else counts[3] for counts in tallies
+            )
+            result[region] = _split(domestic, total)
     return result
 
 

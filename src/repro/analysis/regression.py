@@ -16,7 +16,7 @@ import math
 import numpy as np
 from scipy import stats
 
-from repro.core.dataset import GovernmentHostingDataset
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.world.countries import get_country
 
 #: Feature order used throughout (matches the paper's Equation 1 naming).
@@ -54,6 +54,8 @@ class RegressionResult:
 
 
 def _standardize(matrix: np.ndarray) -> np.ndarray:
+    if matrix.size == 0:
+        return matrix
     mean = matrix.mean(axis=0)
     std = matrix.std(axis=0, ddof=0)
     std[std == 0] = 1.0
@@ -61,7 +63,7 @@ def _standardize(matrix: np.ndarray) -> np.ndarray:
 
 
 def feature_matrix(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> tuple[list[str], np.ndarray, np.ndarray]:
     """Country codes, standardized feature matrix and outcome vector.
 
@@ -69,18 +71,13 @@ def feature_matrix(
     country's *server IPs* located outside the country (standardized,
     like every feature).
     """
+    index = ensure_index(dataset)
     codes: list[str] = []
     raw_features: list[list[float]] = []
     outcomes: list[float] = []
-    for code, country_dataset in sorted(dataset.countries.items()):
-        included = country_dataset.included_records()
-        if not included:
-            continue
+    for code, (foreign_ips, total_ips) in index.address_location_counts().items():
         country = get_country(code)
-        domestic_ips = {r.address for r in included if r.server_country == code}
-        foreign_ips = {r.address for r in included if r.server_country != code}
-        total_ips = len(domestic_ips | foreign_ips)
-        intl = len(foreign_ips) / total_ips if total_ips else 0.0
+        intl = foreign_ips / total_ips if total_ips else 0.0
         codes.append(code)
         raw_features.append([
             country.idi,
@@ -97,9 +94,8 @@ def feature_matrix(
     return codes, features, outcome
 
 
-def explanatory_regression(dataset: GovernmentHostingDataset) -> RegressionResult:
-    """Fit the Appendix E OLS model."""
-    _, features, outcome = feature_matrix(dataset)
+def fit_ols(features: np.ndarray, outcome: np.ndarray) -> RegressionResult:
+    """Fit the Appendix E OLS model over prepared matrices."""
     n, k = features.shape
     if n <= k + 1:
         raise ValueError("not enough countries for the regression")
@@ -137,15 +133,14 @@ def explanatory_regression(dataset: GovernmentHostingDataset) -> RegressionResul
     )
 
 
-def variance_inflation_factors(
-    dataset: GovernmentHostingDataset,
-) -> dict[str, float]:
-    """Table 7: VIF of each explanatory feature.
+def explanatory_regression(dataset: DatasetOrIndex) -> RegressionResult:
+    """Fit the Appendix E OLS model."""
+    _, features, outcome = feature_matrix(dataset)
+    return fit_ols(features, outcome)
 
-    VIF_j = 1 / (1 - R_j^2), where R_j^2 comes from regressing feature j
-    on the remaining features.
-    """
-    _, features, _ = feature_matrix(dataset)
+
+def vifs_of_features(features: np.ndarray) -> dict[str, float]:
+    """Table 7 VIFs over a prepared feature matrix."""
     n, k = features.shape
     vifs: dict[str, float] = {}
     for j, name in enumerate(FEATURE_NAMES):
@@ -161,11 +156,25 @@ def variance_inflation_factors(
     return vifs
 
 
+def variance_inflation_factors(
+    dataset: DatasetOrIndex,
+) -> dict[str, float]:
+    """Table 7: VIF of each explanatory feature.
+
+    VIF_j = 1 / (1 - R_j^2), where R_j^2 comes from regressing feature j
+    on the remaining features.
+    """
+    _, features, _ = feature_matrix(dataset)
+    return vifs_of_features(features)
+
+
 __all__ = [
     "FEATURE_NAMES",
     "Coefficient",
     "RegressionResult",
     "feature_matrix",
+    "fit_ols",
+    "vifs_of_features",
     "explanatory_regression",
     "variance_inflation_factors",
 ]

@@ -5,13 +5,19 @@ shutdown caused by organizational failure" and cites the Mirai/Dyn
 incident (Kashaf et al.).  This module quantifies that risk directly:
 take one serving network offline and measure how much of each
 government's web estate becomes unreachable.
+
+All entry points accept a dataset (an index is built transparently and
+cached on it) or a prebuilt :class:`~repro.analysis.engine.AnalysisIndex`.
+:func:`worst_global_outage` benefits the most: it sweeps every ASN over
+the index's per-(country, ASN) tables -- O(ASNs x countries) table
+lookups instead of O(ASNs x records) record scans.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.core.dataset import GovernmentHostingDataset
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 
 
 @dataclasses.dataclass(frozen=True)
@@ -25,23 +31,21 @@ class OutageImpact:
 
 
 def outage_impact(
-    dataset: GovernmentHostingDataset, asn: int
+    dataset: DatasetOrIndex, asn: int
 ) -> dict[str, OutageImpact]:
     """Per-country impact of taking ``asn`` offline."""
+    index = ensure_index(dataset)
+    asn_counts = index.asn_counts()
+    url_totals = index.country_url_totals()
+    byte_totals = index.country_byte_totals()
     impacts: dict[str, OutageImpact] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
+    for code in sorted(asn_counts):
+        lost = asn_counts[code].get(asn)
+        if lost is None:
             continue
-        total_urls = len(country_dataset.records)
-        total_bytes = country_dataset.total_bytes
-        lost_urls = 0
-        lost_bytes = 0
-        for record in country_dataset.records:
-            if record.asn == asn:
-                lost_urls += 1
-                lost_bytes += record.size_bytes
-        if lost_urls == 0:
-            continue
+        lost_urls, lost_bytes = lost
+        total_urls = url_totals[code]
+        total_bytes = byte_totals[code]
         impacts[code] = OutageImpact(
             country=code,
             asn=asn,
@@ -52,19 +56,20 @@ def outage_impact(
 
 
 def single_points_of_failure(
-    dataset: GovernmentHostingDataset, threshold: float = 0.5
+    dataset: DatasetOrIndex, threshold: float = 0.5
 ) -> dict[str, tuple[int, float]]:
     """Countries where one network's failure removes > ``threshold`` of bytes.
 
     Returns ``country -> (asn, byte share lost)``.
     """
+    index = ensure_index(dataset)
+    asn_counts = index.asn_counts()
     result: dict[str, tuple[int, float]] = {}
-    for code, country_dataset in sorted(dataset.countries.items()):
-        if not country_dataset.records:
-            continue
-        by_asn: dict[int, int] = {}
-        for record in country_dataset.records:
-            by_asn[record.asn] = by_asn.get(record.asn, 0) + record.size_bytes
+    for code in sorted(asn_counts):
+        by_asn = {
+            asn: byte_sum
+            for asn, (_url_count, byte_sum) in asn_counts[code].items()
+        }
         total = sum(by_asn.values())
         if total == 0:
             continue
@@ -76,17 +81,18 @@ def single_points_of_failure(
 
 
 def worst_global_outage(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
 ) -> tuple[int, int, float]:
     """The single AS whose failure disrupts the most governments.
 
     Returns ``(asn, governments affected above 10% of URLs, mean URL
     share lost among affected countries)``.
     """
-    asns = {record.asn for record in dataset.iter_records()}
+    index = ensure_index(dataset)
+    asns = set(index.asn_first_seen())
     worst = (0, 0, 0.0)
     for asn in asns:
-        impacts = outage_impact(dataset, asn)
+        impacts = outage_impact(index, asn)
         affected = [i for i in impacts.values() if i.url_share_lost > 0.10]
         if not affected:
             continue

@@ -16,10 +16,10 @@ from typing import Optional
 
 from repro.categories import HostingCategory
 from repro.core.crawler import Crawler
-from repro.core.dataset import GovernmentHostingDataset
 from repro.core.geolocation import Geolocator
+from repro.analysis.engine.index import DatasetOrIndex, ensure_index
 from repro.analysis.providers import global_provider_asns
-from repro.analysis.registration import LocationSplit, registration_split, server_split
+from repro.analysis.registration import LocationSplit, _split
 from repro.datagen.generator import SyntheticWorld
 from repro.netsim.dns import DnsError
 from repro.urltools import registrable_domain
@@ -161,7 +161,7 @@ class TopsiteAnalyzer:
 
 def analyze_topsites(
     world: SyntheticWorld,
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     geolocator: Optional[Geolocator] = None,
 ) -> TopsiteReport:
     """Run the full Appendix D analysis for the comparison countries.
@@ -208,20 +208,23 @@ def analyze_topsites(
 
 
 def government_subset_breakdown(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     countries: tuple[str, ...] = COMPARISON_COUNTRIES,
 ) -> dict[str, dict[TopsiteHosting, float]]:
     """Figure 3 (left): the same countries' government mixes, relabeled."""
+    index = ensure_index(dataset)
+    category_counts = index.category_counts()
     url_totals = {label: 0.0 for label in TopsiteHosting}
     byte_totals = {label: 0.0 for label in TopsiteHosting}
     for code in countries:
-        country_dataset = dataset.countries.get(code)
-        if country_dataset is None:
+        counts = category_counts.get(code)
+        if counts is None:
             continue
-        for record in country_dataset.records:
-            label = _GOV_TO_COMPARISON[record.category]
-            url_totals[label] += 1
-            byte_totals[label] += record.size_bytes
+        url_counts, byte_sums = counts
+        for position, category in enumerate(HostingCategory):
+            label = _GOV_TO_COMPARISON[category]
+            url_totals[label] += url_counts[position]
+            byte_totals[label] += byte_sums[position]
     url_sum = sum(url_totals.values()) or 1.0
     byte_sum = sum(byte_totals.values()) or 1.0
     return {
@@ -231,18 +234,24 @@ def government_subset_breakdown(
 
 
 def government_subset_location(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     countries: tuple[str, ...] = COMPARISON_COUNTRIES,
 ) -> dict[str, LocationSplit]:
     """Figure 7 (left): the same countries' government location splits."""
-    records = []
+    index = ensure_index(dataset)
+    location_counts = index.location_counts()
+    total = registration_domestic = located = server_domestic = 0
     for code in countries:
-        country_dataset = dataset.countries.get(code)
-        if country_dataset is not None:
-            records.extend(country_dataset.records)
+        counts = location_counts.get(code)
+        if counts is None:
+            continue
+        total += counts[0]
+        registration_domestic += counts[1]
+        located += counts[2]
+        server_domestic += counts[3]
     return {
-        "whois": registration_split(records),
-        "geolocation": server_split(records),
+        "whois": _split(registration_domestic, total),
+        "geolocation": _split(server_domestic, located),
     }
 
 

@@ -78,7 +78,7 @@ class CountryDataset:
 
     __slots__ = ("country", "landing_count", "discarded_url_count",
                  "unresolved_hostnames", "depth_histogram",
-                 "_records", "_assemble")
+                 "_records", "_assemble", "_hostnames", "_total_bytes")
 
     def __init__(
         self,
@@ -94,6 +94,8 @@ class CountryDataset:
         self.discarded_url_count = discarded_url_count
         self.unresolved_hostnames = unresolved_hostnames
         self.depth_histogram = depth_histogram
+        self._hostnames: Optional[set[str]] = None
+        self._total_bytes: Optional[int] = None
         if callable(records):
             self._records: Optional[list[UrlRecord]] = None
             self._assemble = records
@@ -147,12 +149,21 @@ class CountryDataset:
 
     @property
     def hostnames(self) -> set[str]:
-        """Unique government hostnames observed."""
-        return {record.hostname for record in self.records}
+        """Unique government hostnames observed (memoized: records are
+        immutable once materialized, so the set never changes)."""
+        hostnames = self._hostnames
+        if hostnames is None:
+            hostnames = {record.hostname for record in self.records}
+            self._hostnames = hostnames
+        return hostnames
 
     @property
     def total_bytes(self) -> int:
-        return sum(record.size_bytes for record in self.records)
+        total = self._total_bytes
+        if total is None:
+            total = sum(record.size_bytes for record in self.records)
+            self._total_bytes = total
+        return total
 
     def included_records(self) -> list[UrlRecord]:
         """Records whose server location was validated (analysis input)."""

@@ -7,6 +7,7 @@ from repro.reporting.figures import (
     render_split_bars,
     render_region_table,
 )
+from repro.reporting.paper_report import render_paper_report
 
 __all__ = [
     "render_table",
@@ -15,4 +16,5 @@ __all__ = [
     "render_mix_bars",
     "render_split_bars",
     "render_region_table",
+    "render_paper_report",
 ]

@@ -4,6 +4,12 @@ Renders every Section 5-7 analysis (plus the extensions) over a
 measured dataset into one text document -- the "regenerate the paper's
 evaluation" entry point used by ``examples/full_report.py`` and the
 CLI.
+
+The renderer builds one :class:`~repro.analysis.engine.AnalysisIndex`
+up front (cached on the dataset) and feeds it to every analysis, so the
+whole report costs a single record scan; the rendered text is
+byte-identical to the record-loop implementations (see
+``repro.analysis.engine.baseline`` and the equivalence suite).
 """
 
 from __future__ import annotations
@@ -29,8 +35,8 @@ from repro.analysis.regression import (
     explanatory_regression,
     variance_inflation_factors,
 )
+from repro.analysis.engine.index import AnalysisIndex, DatasetOrIndex, ensure_index
 from repro.categories import CATEGORY_ORDER, HostingCategory
-from repro.core.dataset import GovernmentHostingDataset
 from repro.reporting.figures import render_histogram
 from repro.reporting.tables import render_table
 
@@ -40,16 +46,16 @@ def _section(title: str) -> str:
     return f"\n{title}\n{rule}\n"
 
 
-def _hosting_section(dataset: GovernmentHostingDataset) -> str:
+def _hosting_section(index: AnalysisIndex) -> str:
     parts = [_section("Trends in government hosting (Section 5)")]
-    breakdown = global_breakdown(dataset)
+    breakdown = global_breakdown(index)
     parts.append(render_table(
         ["category", "URLs", "bytes"],
         [[str(c), f"{breakdown['urls'][c]:.2f}", f"{breakdown['bytes'][c]:.2f}"]
          for c in CATEGORY_ORDER],
         title="Global prevalence (Figure 2)",
     ))
-    regional = regional_breakdown(dataset, by_bytes=True)
+    regional = regional_breakdown(index, by_bytes=True)
     parts.append("")
     parts.append(render_table(
         ["region"] + [str(c) for c in CATEGORY_ORDER],
@@ -57,7 +63,7 @@ def _hosting_section(dataset: GovernmentHostingDataset) -> str:
          for region, mix in sorted(regional.items(), key=lambda kv: kv[0].name)],
         title="Regional byte mixes (Figure 4b)",
     ))
-    majority = country_majority(dataset)
+    majority = country_majority(index)
     third_party = sorted(c for c, label in majority.items() if label == "3P")
     parts.append(
         f"\nMajority third-party countries (Figure 1): {len(third_party)} of "
@@ -66,16 +72,16 @@ def _hosting_section(dataset: GovernmentHostingDataset) -> str:
     return "\n".join(parts)
 
 
-def _location_section(dataset: GovernmentHostingDataset) -> str:
+def _location_section(index: AnalysisIndex) -> str:
     parts = [_section("Registration and server locations (Section 6)")]
-    splits = global_split(dataset)
+    splits = global_split(index)
     parts.append(render_table(
         ["view", "domestic", "international"],
         [[view, f"{split.domestic:.2f}", f"{split.international:.2f}"]
          for view, split in splits.items()],
         title="Global domestic/international (Figure 6)",
     ))
-    location = regional_split(dataset, view="geolocation", weighting="url")
+    location = regional_split(index, view="geolocation", weighting="url")
     parts.append("")
     parts.append(render_table(
         ["region", "domestic"],
@@ -84,7 +90,7 @@ def _location_section(dataset: GovernmentHostingDataset) -> str:
                                      key=lambda kv: kv[1].domestic)],
         title="Server location per region (Figure 8b)",
     ))
-    retention = same_region_share(dataset)
+    retention = same_region_share(index)
     parts.append("")
     parts.append(render_table(
         ["region", "% in-region"],
@@ -92,30 +98,30 @@ def _location_section(dataset: GovernmentHostingDataset) -> str:
          for region, share in sorted(retention.items(), key=lambda kv: -kv[1])],
         title="Cross-border dependencies staying in-region (Table 5)",
     ))
-    affinity = regional_affinity(dataset)
+    affinity = regional_affinity(index)
     for region, hosts in sorted(affinity.items(), key=lambda kv: kv[0].name):
         leader = max(hosts, key=hosts.get)
         parts.append(f"  {region.name}: {leader} hosts {hosts[leader]:.0%} "
                      f"of in-region cross-border URLs")
-    destinations = foreign_share_by_destination(dataset)
+    destinations = foreign_share_by_destination(index)
     if destinations:
         top = sorted(destinations.items(), key=lambda kv: -kv[1])[:5]
         parts.append("  top foreign destinations: " + ", ".join(
             f"{code} {share:.0%}" for code, share in top))
-    parts.append(f"  GDPR compliance of EU members: {gdpr_compliance(dataset):.1%}")
+    parts.append(f"  GDPR compliance of EU members: {gdpr_compliance(index):.1%}")
     return "\n".join(parts)
 
 
-def _centralization_section(dataset: GovernmentHostingDataset) -> str:
+def _centralization_section(index: AnalysisIndex) -> str:
     parts = [_section("Global providers and diversification (Section 7)")]
-    footprints = global_provider_footprints(dataset)
+    footprints = global_provider_footprints(index)
     if footprints:
         parts.append(render_histogram(
             [f"{fp.name} (AS{fp.asn})" for fp in footprints[:10]],
             [fp.country_count for fp in footprints[:10]],
             title="Countries per Global provider (Figure 10)",
         ))
-    reliances = top_reliances(dataset, 5)
+    reliances = top_reliances(index, 5)
     parts.append("")
     parts.append(render_table(
         ["provider", "country", "byte share"],
@@ -123,8 +129,8 @@ def _centralization_section(dataset: GovernmentHostingDataset) -> str:
          for name, _asn, country, fraction in reliances],
         title="Deepest single-provider reliances",
     ))
-    groups = hhi_by_dominant_category(dataset, by_bytes=True)
-    dependence = single_network_dependence(dataset)
+    groups = hhi_by_dominant_category(index, by_bytes=True)
+    dependence = single_network_dependence(index)
     rows = []
     for category in (HostingCategory.GOVT_SOE, HostingCategory.P3_LOCAL,
                      HostingCategory.P3_GLOBAL):
@@ -143,13 +149,13 @@ def _centralization_section(dataset: GovernmentHostingDataset) -> str:
     return "\n".join(parts)
 
 
-def _regression_section(dataset: GovernmentHostingDataset) -> str:
+def _regression_section(index: AnalysisIndex) -> str:
     parts = [_section("Explanatory factors (Appendix E)")]
     try:
-        result = explanatory_regression(dataset)
+        result = explanatory_regression(index)
     except ValueError:
         return parts[0] + "not enough countries for the regression"
-    vifs = variance_inflation_factors(dataset)
+    vifs = variance_inflation_factors(index)
     parts.append(render_table(
         ["feature", "estimate", "p-value", "VIF"],
         [[name,
@@ -164,11 +170,12 @@ def _regression_section(dataset: GovernmentHostingDataset) -> str:
 
 
 def render_paper_report(
-    dataset: GovernmentHostingDataset,
+    dataset: DatasetOrIndex,
     world: Optional[object] = None,
 ) -> str:
     """The full evaluation report; pass the world to add the extensions."""
-    summary = dataset.summarize()
+    index = ensure_index(dataset)
+    summary = index.summary()
     header = (
         "OF CHOICES AND CONTROL -- reproduction report\n"
         f"{summary.total_unique_urls:,} URLs / "
@@ -178,17 +185,17 @@ def render_paper_report(
     )
     sections = [
         header,
-        _hosting_section(dataset),
-        _location_section(dataset),
-        _centralization_section(dataset),
-        _regression_section(dataset),
+        _hosting_section(index),
+        _location_section(index),
+        _centralization_section(index),
+        _regression_section(index),
     ]
     if world is not None:
         from repro.analysis.dnsdep import global_third_party_dns_share
         from repro.analysis.https_adoption import global_https_prevalence
 
-        have, valid = global_https_prevalence(world, dataset)
-        dns_share = global_third_party_dns_share(world, dataset)
+        have, valid = global_https_prevalence(world, index)
+        dns_share = global_third_party_dns_share(world, index)
         sections.append(_section("Extensions") + (
             f"valid HTTPS on government hostnames: {valid:.1%}\n"
             f"government domains on third-party DNS: {dns_share:.1%}"
