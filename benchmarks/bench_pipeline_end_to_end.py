@@ -8,12 +8,10 @@ at least four cores (the scan phase is GIL-bound, so threads are not
 expected to beat serial on CPU-bound work).
 """
 
-import json
 import os
-import pathlib
 import time
 
-from conftest import BENCH_SCALE, BENCH_SEED
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
 
 from repro import Pipeline, SyntheticWorld, WorldConfig
 from repro.cache import ScanCache
@@ -158,9 +156,7 @@ def test_cache_warm_speedup_report(report, tmp_path):
         f"warm: {warm_s:.3f} s ({warm_cache.stats.summary()})\n"
         f"speedup: {speedup:.2f}x",
     )
-    out_dir = pathlib.Path(__file__).parent / "out"
-    out_dir.mkdir(exist_ok=True)
-    (out_dir / "BENCH_pipeline.json").write_text(json.dumps({
+    write_bench_json("pipeline", {
         "scale": CACHE_BENCH_SCALE,
         "seed": BENCH_SEED,
         "cold_s": round(cold_s, 6),
@@ -168,7 +164,7 @@ def test_cache_warm_speedup_report(report, tmp_path):
         "speedup": round(speedup, 2),
         "hits": warm_cache.stats.hits,
         "misses": warm_cache.stats.misses,
-    }, indent=2) + "\n")
+    })
     assert speedup >= 5.0, f"expected >=5x warm speedup, got {speedup:.2f}x"
 
 

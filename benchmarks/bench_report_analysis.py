@@ -12,11 +12,9 @@ acceptance scale); smaller smoke runs only assert the index does not
 lose.
 """
 
-import json
-import pathlib
 import time
 
-from conftest import BENCH_SCALE, BENCH_SEED
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
 
 from repro.analysis.engine import AnalysisIndex
 from repro.analysis.engine.baseline import baseline_render_paper_report
@@ -98,9 +96,7 @@ def test_report_analysis_speedup(report, bench_dataset):
         f"index:        {index_s:.3f} s (1 scan, build included)\n"
         f"speedup:      {speedup:.2f}x",
     )
-    out_dir = pathlib.Path(__file__).parent / "out"
-    out_dir.mkdir(exist_ok=True)
-    (out_dir / "BENCH_analysis.json").write_text(json.dumps({
+    write_bench_json("analysis", {
         "scale": BENCH_SCALE,
         "seed": BENCH_SEED,
         "records": records,
@@ -108,7 +104,7 @@ def test_report_analysis_speedup(report, bench_dataset):
         "index_s": round(index_s, 6),
         "speedup": round(speedup, 2),
         "identical_output": True,
-    }, indent=2) + "\n")
+    })
     floor = 3.0 if BENCH_SCALE >= 0.2 else 1.0
     assert speedup >= floor, \
         f"expected >={floor}x at scale {BENCH_SCALE}, got {speedup:.2f}x"

@@ -10,6 +10,7 @@ of the paper's dataset; default 0.05) and the seed with
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -21,6 +22,17 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
 
 _OUT_DIR = pathlib.Path(__file__).parent / "out"
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> None:
+    """Archive one benchmark's JSON under ``benchmarks/out/`` *and* at
+    the canonical repo-root path (``BENCH_<name>.json``), where release
+    tooling and the README point to the latest committed numbers."""
+    _OUT_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2) + "\n"
+    (_OUT_DIR / f"BENCH_{name}.json").write_text(text)
+    (_REPO_ROOT / f"BENCH_{name}.json").write_text(text)
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,8 @@ See :mod:`repro.analysis` for the Section 5-7 analyses and the
 and figure.
 """
 
+import logging
+
 from repro.categories import HostingCategory, CATEGORY_ORDER
 from repro.datagen.config import WorldConfig
 from repro.datagen.generator import SyntheticWorld, GroundTruth, HostTruth
@@ -27,6 +29,10 @@ from repro.core.dataset import (
 from repro.exec import ProcessExecutor, SerialExecutor, ThreadExecutor
 
 __version__ = "1.0.0"
+
+# Library logging: silent unless the application configures handlers
+# (the CLI's -v/-q flags do; see repro.cli).
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __all__ = [
     "HostingCategory",

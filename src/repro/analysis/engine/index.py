@@ -37,6 +37,7 @@ dataset the pipeline or ``repro.io`` produces.
 
 from __future__ import annotations
 
+import time
 from array import array
 from functools import cached_property
 from typing import Iterator, Optional, Union
@@ -112,6 +113,7 @@ class AnalysisIndex:
     """
 
     def __init__(self, dataset: GovernmentHostingDataset) -> None:
+        build_start = time.perf_counter()
         self._dataset = dataset
         self._size_col = array("q")
         self._addr_col = array("q")
@@ -131,6 +133,9 @@ class AnalysisIndex:
         self._span_by_code: dict[str, tuple[int, int, int]] = {}
         self._crossborder_tables: dict[str, dict] = {}
         self._scan(dataset)
+        #: Wall seconds the columnar scan took (observability only;
+        #: never feeds back into any analysis result).
+        self.build_seconds = time.perf_counter() - build_start
 
     # ------------------------------------------------------------ build
 

@@ -32,7 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Version of the on-disk entry format *and* of the fingerprint scheme.
 #: Bump whenever :class:`~repro.exec.partials.CountryPartial` or the
 #: key derivation changes; every older entry then misses harmlessly.
-CACHE_FORMAT_VERSION = 1
+#: v2: GeoVerdict grew a ``source`` field (geolocation funnel step),
+#: changing the pickled layout of the meta segment's verdicts.
+CACHE_FORMAT_VERSION = 2
 
 
 def run_fingerprint(

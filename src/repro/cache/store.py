@@ -36,6 +36,7 @@ import dataclasses
 import functools
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import pickle
@@ -51,6 +52,8 @@ from repro.exec.partials import CountryPartial
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.pipeline import Pipeline
+
+logger = logging.getLogger(__name__)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -110,6 +113,19 @@ class CacheStats:
             f"~{self.time_saved_s:.1f}s scan time saved"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (run manifests, metrics exports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evicted": self.evicted,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "time_saved_s": round(self.time_saved_s, 6),
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
 
 class ScanCache:
     """Persistent store of per-country phase-1 scan results."""
@@ -155,6 +171,10 @@ class ScanCache:
             return None
         decoded = self._decode(blob, key, country)
         if decoded is None:
+            logger.warning(
+                "evicting cache entry %s (%s): failed integrity or "
+                "fingerprint check", key, country.upper(),
+            )
             self.stats.evicted += 1
             self.stats.misses += 1
             try:

@@ -4,16 +4,21 @@
 
     repro-gov run --scale 0.05 --out dataset.jsonl   # generate + measure + save
     repro-gov run --scale 0.05 --cache-dir .scan     # warm-start on re-runs
+    repro-gov run --scale 0.05 --out d.jsonl --manifest --trace-out trace.json
     repro-gov report dataset.jsonl                   # analyses over a saved run
     repro-gov report dataset.jsonl --section providers
     repro-gov inspect --hostname www.gub.uy          # one hostname end to end
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``; the observability
+flags (``--trace-out``/``--metrics-out``/``--manifest``/``--progress``)
+never change what a run computes, only what it reports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -31,6 +36,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-gov",
         description="Reproduction of 'Of Choices and Control' (IMC 2024)",
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument("-v", "--verbose", action="count", default=0,
+                           help="log pipeline progress to stderr "
+                                "(-v: info, -vv: debug)")
+    verbosity.add_argument("-q", "--quiet", action="store_true",
+                           help="suppress warnings (errors only)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
@@ -73,6 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-clear", action="store_true",
                      help="empty the cache under --cache-dir before "
                           "running")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write the run's span tree as JSON; a .chrome.json "
+                          "sibling in Chrome trace_event format is written "
+                          "too (load it in about://tracing or Perfetto)")
+    run.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the run's merged metrics registry as JSON")
+    run.add_argument("--manifest", action="store_true",
+                     help="write a provenance manifest next to --out "
+                          "(<out>.manifest.json; requires --out)")
+    run.add_argument("--progress", action="store_true",
+                     help="print a per-country heartbeat to stderr as "
+                          "scans complete")
 
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset"
@@ -89,6 +112,20 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_printer(country: str, seconds: float, completed: int,
+                      expected: Optional[int]) -> None:
+    """Per-country heartbeat for ``run --progress`` (stderr, flushed)."""
+    total = f"/{expected}" if expected is not None else ""
+    print(f"[{completed}{total}] scanned {country} in {seconds:.2f}s",
+          file=sys.stderr, flush=True)
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = WorldConfig(
         seed=args.seed, scale=args.scale,
@@ -97,6 +134,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
     )
+    if args.manifest and not args.out:
+        print("error: --manifest requires --out", file=sys.stderr)
+        return 2
     world = SyntheticWorld.generate(config)
     executor_name = args.executor
     if executor_name is None:
@@ -114,16 +154,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"cache: cleared {removed} entries from {args.cache_dir}")
         if args.no_cache:
             cache = None
+    obs = None
+    observed = (args.trace_out or args.metrics_out or args.manifest
+                or args.progress)
+    if observed:
+        from repro.obs import Observability
+
+        obs = Observability(
+            progress=_progress_printer if args.progress else None
+        )
     executor = make_executor(executor_name, workers=args.workers)
+    pipeline = Pipeline(world, obs=obs)
     try:
-        dataset = Pipeline(world).run(executor=executor, cache=cache)
+        dataset = pipeline.run(executor=executor, cache=cache)
     finally:
         executor.close()
     summary = dataset.summarize()
     print(f"measured {summary.total_unique_urls:,} URLs over "
           f"{summary.unique_hostnames:,} hostnames "
           f"({summary.ases} ASes, {summary.unique_addresses} addresses)")
-    if cache is not None:
+    if obs is not None:
+        from repro.reporting.obs import render_run_summary
+
+        print(render_run_summary(
+            obs, cache_line=cache.stats.summary() if cache else None
+        ))
+    elif cache is not None:
         print(f"cache: {cache.stats.summary()}")
     if dataset.faults.countries:
         from repro.reporting.faults import render_fault_report
@@ -139,7 +195,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         written = export_csv(dataset, args.csv)
         print(f"wrote {written:,} rows to {args.csv}")
+    if obs is not None:
+        if args.trace_out:
+            _write_json(args.trace_out, obs.tracer.to_dict())
+            chrome_path = _chrome_trace_path(args.trace_out)
+            _write_json(chrome_path, obs.tracer.to_chrome())
+            print(f"wrote trace to {args.trace_out} (+ {chrome_path})")
+        if args.metrics_out:
+            _write_json(args.metrics_out, obs.metrics.to_dict())
+            print(f"wrote metrics to {args.metrics_out}")
+        if args.manifest:
+            from repro.obs import RunManifest, manifest_path_for
+
+            manifest = RunManifest.collect(
+                pipeline, dataset, executor=executor, cache=cache, obs=obs
+            )
+            path = manifest.write(manifest_path_for(args.out))
+            print(f"wrote manifest to {path}")
     return 0
+
+
+def _chrome_trace_path(trace_out: str) -> str:
+    """``trace.json`` -> ``trace.chrome.json`` (suffix-preserving)."""
+    if trace_out.endswith(".json"):
+        return trace_out[:-len(".json")] + ".chrome.json"
+    return trace_out + ".chrome.json"
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -237,9 +317,43 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The stderr handler installed by the last ``main()`` call, so repeated
+#: in-process invocations (tests, notebooks) reconfigure instead of
+#: stacking handlers.
+_log_handler: Optional[logging.Handler] = None
+
+
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Map -v/-q onto the ``repro`` logger hierarchy (stderr handler).
+
+    The library itself only attaches a ``NullHandler``; this is the
+    application-side configuration, so importing :mod:`repro` never
+    prints anything on its own.
+    """
+    global _log_handler
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    root = logging.getLogger("repro")
+    if _log_handler is not None:
+        root.removeHandler(_log_handler)
+    _log_handler = logging.StreamHandler(sys.stderr)
+    _log_handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.setLevel(level)
+    root.addHandler(_log_handler)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-gov`` console script."""
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "report":

@@ -61,6 +61,13 @@ class GeoVerdict:
     claimed_country: Optional[str]
     #: Whether multistage geolocation contradicted IPInfo (exclusion cause).
     conflict: bool = False
+    #: Which Section 3.5 step produced the location: ``"active_probing"``,
+    #: ``"hoiho"``, ``"ipmap"``, ``"single_radius"``, or None when every
+    #: step came up empty.  A pure function of the world (like the rest
+    #: of the verdict), so the observability layer's funnel metrics can
+    #: be replayed deterministically on the driver no matter which shard
+    #: computed the verdict.
+    source: Optional[str] = None
 
     @property
     def excluded(self) -> bool:
@@ -261,7 +268,7 @@ class Geolocator:
             return GeoVerdict(
                 address=address, country=country,
                 method=ValidationMethod.ACTIVE_PROBING, anycast=True,
-                claimed_country=claimed,
+                claimed_country=claimed, source="active_probing",
             )
         return GeoVerdict(
             address=address, country=None,
@@ -293,9 +300,9 @@ class Geolocator:
                 return GeoVerdict(
                     address=address, country=claimed,
                     method=ValidationMethod.ACTIVE_PROBING, anycast=False,
-                    claimed_country=claimed,
+                    claimed_country=claimed, source="active_probing",
                 )
-        hint = self._multistage_hint(address, faults=faults)
+        hint, stage = self._multistage_hint(address, faults=faults)
         if hint is None:
             return GeoVerdict(
                 address=address, country=None,
@@ -307,32 +314,36 @@ class Geolocator:
             return GeoVerdict(
                 address=address, country=None,
                 method=ValidationMethod.MULTISTAGE, anycast=False,
-                claimed_country=claimed, conflict=True,
+                claimed_country=claimed, conflict=True, source=stage,
             )
         return GeoVerdict(
             address=address, country=hint,
             method=ValidationMethod.MULTISTAGE, anycast=False,
-            claimed_country=claimed,
+            claimed_country=claimed, source=stage,
         )
 
     def _multistage_hint(
         self, address: int, faults: Optional["FaultSession"] = None
-    ) -> Optional[str]:
-        """Step 4: HOIHO, then IPmap, then single-radius probing."""
+    ) -> tuple[Optional[str], Optional[str]]:
+        """Step 4: HOIHO, then IPmap, then single-radius probing.
+
+        Returns ``(country hint, stage name)`` so the verdict records
+        which fallback resolved the address.
+        """
         if self._enable_hoiho:
             hint = self._hoiho.country_hint(address)
             if hint is not None:
-                return hint
+                return hint, "hoiho"
         if self._enable_ipmap:
             hint = self._ipmap.lookup(address)
             if hint is not None:
-                return hint
+                return hint, "ipmap"
         if self._enable_single_radius:
             best = self._atlas.nearest_probe_rtt(address, faults=faults)
             if best is not None and best.min_rtt_ms is not None:
                 if best.min_rtt_ms < self._single_radius_ms:
-                    return best.probe.country
-        return None
+                    return best.probe.country, "single_radius"
+        return None, None
 
     def _tally_unicast(self, verdict: GeoVerdict) -> None:
         self.stats.tally(verdict)

@@ -25,6 +25,9 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import logging
+import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.asclassify import GovernmentASClassifier
@@ -53,6 +56,15 @@ from repro.world.cities import all_location_codes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache import ScanCache
+    from repro.obs import Observability
+    from repro.obs.scan import ScanObs
+
+logger = logging.getLogger(__name__)
+
+
+def _null_span(name: str, **tags) -> nullcontext:
+    """Span stand-in for uninstrumented scans (no scope allocated)."""
+    return nullcontext()
 
 
 @dataclasses.dataclass
@@ -105,8 +117,18 @@ class Pipeline:
         max_depth: int = DEFAULT_MAX_DEPTH,
         geolocator: Optional[Geolocator] = None,
         faults: Optional[FaultPlan] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.world = world
+        #: Observability sink (None: no tracing/metrics).  Purely
+        #: read-side instrumentation — a run with ``obs`` set produces a
+        #: byte-identical dataset to one without (tested per executor).
+        self.obs = obs
+        #: Wall seconds of the most recent phase-1 scan per country,
+        #: recorded by every executor (process shards ship theirs back).
+        #: Feeds the cache's per-entry cost accounting and the progress
+        #: heartbeat; never serialized into datasets.
+        self.scan_seconds: dict[str, float] = {}
         self.browser = Browser(world.web)
         self.crawler = Crawler(self.browser, max_depth=max_depth)
         self.mapper = InfrastructureMapper(world.resolver, world.whois)
@@ -157,7 +179,10 @@ class Pipeline:
     # ------------------------------------------------------------------ runs
 
     def scan_country(
-        self, code: str, faults: Optional[FaultSession] = None
+        self,
+        code: str,
+        faults: Optional[FaultSession] = None,
+        obs: Optional["ScanObs"] = None,
     ) -> _CountryScan:
         """Crawl, filter and map one country (phases 1-4).
 
@@ -165,19 +190,46 @@ class Pipeline:
         the VPN exit may flap (retried, then re-selected to an alternate
         in-country exit) and DNS/WHOIS lookups may fail (hostnames
         degrade into the unresolved tally).
+
+        An observability scope records per-stage spans and counters;
+        it reads results the scan computed anyway, so instrumented and
+        bare scans are identical.
         """
         code = code.upper()
-        directory = compile_directory(self.world, code)
+        span = obs.span if obs is not None else _null_span
+        with span("directory"):
+            directory = compile_directory(self.world, code)
         if faults is not None:
             vantage = faults.select_vantage(self.world.vpn, code)
         else:
             vantage = self.world.vpn.vantage_for(code)
-        crawl = self.crawler.crawl(list(directory.landing_urls), vantage)
-        url_filter = GovernmentUrlFilter(directory, self.world.certificates)
-        outcome = url_filter.run(crawl.archive)
-        infrastructure = self.mapper.map_hosts(
-            outcome.government_hostnames, vantage, faults=faults
-        )
+        with span("crawl") as crawl_span:
+            crawl = self.crawler.crawl(list(directory.landing_urls), vantage)
+        with span("filter") as filter_span:
+            url_filter = GovernmentUrlFilter(directory, self.world.certificates)
+            outcome = url_filter.run(crawl.archive)
+        with span("resolve") as resolve_span:
+            infrastructure = self.mapper.map_hosts(
+                outcome.government_hostnames, vantage, faults=faults
+            )
+        if obs is not None:
+            metrics = obs.metrics
+            crawl_span.tags.update(pages=crawl.page_loads,
+                                   urls=len(crawl.depth_of),
+                                   failed=len(crawl.failed_urls))
+            metrics.count("crawl.page_loads", crawl.page_loads)
+            metrics.count("crawl.fetched_urls", len(crawl.depth_of))
+            metrics.count("crawl.failed_urls", len(crawl.failed_urls))
+            accepted = len(outcome.accepted)
+            filter_span.tags.update(accepted=accepted,
+                                    discarded=len(outcome.discarded))
+            metrics.count("filter.accepted_urls", accepted)
+            for via, count in outcome.counts_by_via().items():
+                metrics.count(f"filter.via.{via.value}", count)
+            unresolved = len(outcome.government_hostnames) - len(infrastructure)
+            resolve_span.tags.update(hosts=len(infrastructure),
+                                     unresolved=unresolved)
+            metrics.count("resolve.resolved_hosts", len(infrastructure))
         return _CountryScan(
             country=code,
             crawl=crawl,
@@ -193,12 +245,16 @@ class Pipeline:
         except hosting categories, which need the cross-country
         footprint barrier (phase 2).
         """
+        code = code.upper()
+        started = time.perf_counter()
         session = (
             FaultSession(self.fault_plan, code)
             if self.fault_plan.enabled
             else None
         )
-        scan = self.scan_country(code, faults=session)
+        obs = self.obs
+        scope = obs.scan_scope(code) if obs is not None else None
+        scan = self.scan_country(code, faults=session, obs=scope)
         country = scan.country
         footprint = ProviderFootprint()
         hosts: dict[str, HostAnnotation] = {}
@@ -206,30 +262,47 @@ class Pipeline:
         host_verdicts = self._host_verdicts
         is_government = self.ownership.is_government
         locate = self.geolocator.locate
-        for hostname, info in scan.infrastructure.items():
-            if session is not None:
-                # Faulted verdicts are scoped to this country's session
-                # (its own memo dedupes repeat addresses); the shared
-                # cross-run cache only ever holds fault-free verdicts.
-                verdict = locate(info.address, country, faults=session)
-            else:
-                key = (hostname, country)
-                verdict = host_verdicts.get(key)
-                if verdict is None:
-                    verdict = locate(info.address, country)
-                    host_verdicts[key] = verdict
-            verdicts.append(verdict)
-            footprint.observe(info.asn, country)
-            hosts[hostname] = HostAnnotation(
-                address=info.address,
-                asn=info.asn,
-                organization=info.organization,
-                registered_country=info.registered_country,
-                gov_operated=is_government(info.asn, faults=session),
-                server_country=verdict.country,
-                anycast=verdict.anycast,
-                validation=verdict.method,
-            )
+        geolocate_cm = (scope.span("geolocate", hosts=len(scan.infrastructure))
+                        if scope is not None else nullcontext())
+        #: Wall seconds and address counts per Section 3.5 step, keyed
+        #: by the verdict's ``source`` (observability only).
+        step_seconds: dict[str, float] = {}
+        step_counts: dict[str, int] = {}
+        with geolocate_cm:
+            for hostname, info in scan.infrastructure.items():
+                if scope is not None:
+                    lookup_started = time.perf_counter()
+                if session is not None:
+                    # Faulted verdicts are scoped to this country's session
+                    # (its own memo dedupes repeat addresses); the shared
+                    # cross-run cache only ever holds fault-free verdicts.
+                    verdict = locate(info.address, country, faults=session)
+                else:
+                    key = (hostname, country)
+                    verdict = host_verdicts.get(key)
+                    if verdict is None:
+                        verdict = locate(info.address, country)
+                        host_verdicts[key] = verdict
+                if scope is not None:
+                    step = verdict.source or "unresolved"
+                    step_seconds[step] = (step_seconds.get(step, 0.0)
+                                          + time.perf_counter() - lookup_started)
+                    step_counts[step] = step_counts.get(step, 0) + 1
+                verdicts.append(verdict)
+                footprint.observe(info.asn, country)
+                hosts[hostname] = HostAnnotation(
+                    address=info.address,
+                    asn=info.asn,
+                    organization=info.organization,
+                    registered_country=info.registered_country,
+                    gov_operated=is_government(info.asn, faults=session),
+                    server_country=verdict.country,
+                    anycast=verdict.anycast,
+                    validation=verdict.method,
+                )
+            if scope is not None:
+                scope.geolocation_steps(step_seconds, step_counts)
+                scope.metrics.count("geo.lookups", len(scan.infrastructure))
 
         urls: list[UrlObservation] = []
         append = urls.append
@@ -240,6 +313,13 @@ class Pipeline:
             if entry.hostname in hosts:
                 append((url, entry.hostname, entry.size_bytes, via,
                         depth_get(url, 0)))
+
+        self.scan_seconds[country] = time.perf_counter() - started
+        if scope is not None:
+            if session is not None:
+                scope.metrics.count("faults.operations",
+                                    session.episodes_evaluated)
+            obs.absorb_scan(scope)
 
         return CountryPartial(
             country=country,
@@ -306,35 +386,56 @@ class Pipeline:
         """
         codes = [c.upper() for c in countries] if countries else self.world.country_codes()
         strategy = executor or SerialExecutor()
+        obs = self.obs
+        logger.info("pipeline run: %d countries via %s", len(codes),
+                    strategy.name)
 
-        # Phase 1: independent per-country scans, fanned out (warm-started
-        # from the cache when one is given).
-        if cache is not None:
-            if not self.supports_caching:
-                raise ValueError(
-                    "caching requires the pipeline's default geolocator; a "
-                    "custom geolocator's results cannot be keyed by the "
-                    "world config — run without cache="
+        run_cm = (obs.run_scope(strategy.name, len(codes))
+                  if obs is not None else nullcontext())
+        phase = obs.phase if obs is not None else _null_span
+        with run_cm:
+            # Phase 1: independent per-country scans, fanned out
+            # (warm-started from the cache when one is given).
+            with phase("scan", cached=cache is not None):
+                if cache is not None:
+                    if not self.supports_caching:
+                        raise ValueError(
+                            "caching requires the pipeline's default "
+                            "geolocator; a custom geolocator's results "
+                            "cannot be keyed by the world config — run "
+                            "without cache="
+                        )
+                    partials = strategy.scan_cached(self, codes, cache)
+                else:
+                    partials = strategy.scan(self, codes)
+
+            # Barrier: cross-country reductions, merged deterministically.
+            with phase("merge"):
+                self.categories.ingest(merge_footprints(partials))
+                validation = merge_validation(partials)
+                faults = merge_faults(partials)
+
+            # Phase 2: categorize + record assembly, parallelizable again.
+            # One classifier snapshot serves every country's deferred
+            # assembler; per-country snapshots would each copy the footprint.
+            with phase("finalize"):
+                finalize_one = functools.partial(
+                    self.finalize_country, categories=self.categories.snapshot()
                 )
-            partials = strategy.scan_cached(self, codes, cache)
-        else:
-            partials = strategy.scan(self, codes)
+                finalized = strategy.finalize(self, partials, finalize_one)
 
-        # Barrier: cross-country reductions, merged deterministically.
-        self.categories.ingest(merge_footprints(partials))
-        validation = merge_validation(partials)
-
-        # Phase 2: categorize + record assembly, parallelizable again.
-        # One classifier snapshot serves every country's deferred
-        # assembler; per-country snapshots would each copy the footprint.
-        finalize_one = functools.partial(
-            self.finalize_country, categories=self.categories.snapshot()
-        )
-        finalized = strategy.finalize(self, partials, finalize_one)
+        if obs is not None:
+            # Driver-side metrics: replayed from the partials in
+            # canonical order (covers cache hits, executor-independent).
+            obs.record_partials(partials)
+            obs.record_faults(faults)
+            if cache is not None:
+                obs.record_cache(cache)
+        logger.info("pipeline run finished: %d countries", len(codes))
         return GovernmentHostingDataset(
             countries={dataset.country: dataset for dataset in finalized},
             validation=validation,
-            faults=merge_faults(partials),
+            faults=faults,
         )
 
 

@@ -18,6 +18,7 @@ filtered through three cascaded heuristics:
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
 from typing import Callable, Optional
@@ -77,10 +78,8 @@ class FilterOutcome:
 
     def counts_by_via(self) -> dict[FilterVia, int]:
         """Accepted URL counts per heuristic (the Section 4.2 breakdown)."""
-        counts = {via: 0 for via in FilterVia}
-        for via in self.accepted.values():
-            counts[via] += 1
-        return counts
+        tallies = collections.Counter(self.accepted.values())
+        return {via: tallies.get(via, 0) for via in FilterVia}
 
     def fractions_by_via(self) -> dict[FilterVia, float]:
         """Accepted URL fractions per heuristic."""

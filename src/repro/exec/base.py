@@ -46,11 +46,14 @@ class ExecutionStrategy(abc.ABC):
 
         Hits are loaded from the cache; misses keep their submission
         order and go through :meth:`scan` — whatever worker fabric this
-        strategy owns — then get stored back (tagged with the average
-        per-country scan cost, so future hits can report time saved).
-        The combined partials come back in the order of ``codes``, so a
-        warm run merges exactly like a cold one and the resulting
-        dataset is byte-identical either way.
+        strategy owns — then get stored back tagged with their *own*
+        scan's wall seconds (``Pipeline.scan_seconds``, which every
+        strategy records per country), so future hits report the time
+        actually saved rather than an even split of the batch.  The
+        batch average remains the fallback for strategies that did not
+        report a per-country figure.  The combined partials come back
+        in the order of ``codes``, so a warm run merges exactly like a
+        cold one and the resulting dataset is byte-identical either way.
         """
         keyed = [(code, cache.key_for(pipeline, code)) for code in codes]
         partials: dict[str, CountryPartial] = {}
@@ -66,7 +69,8 @@ class ExecutionStrategy(abc.ABC):
             fresh = self.scan(pipeline, [code for code, _ in misses])
             per_country = (time.perf_counter() - start) / len(misses)
             for (code, key), partial in zip(misses, fresh):
-                cache.store(key, partial, scan_s=per_country)
+                scan_s = pipeline.scan_seconds.get(code.upper(), per_country)
+                cache.store(key, partial, scan_s=scan_s)
                 partials[code] = partial
         return [partials[code] for code, _ in keyed]
 

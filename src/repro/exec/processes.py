@@ -18,6 +18,7 @@ serial execution are faster.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
 
@@ -27,27 +28,52 @@ from repro.exec.partials import CountryPartial
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import Pipeline
+    from repro.obs.scan import ScanObs
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 
 #: The rebuilt pipeline of the current worker process.
 _WORKER_PIPELINE: Optional["Pipeline"] = None
 
+#: One worker task's result: the partial plus its scan's wall seconds
+#: and (when the pool observes) the per-country observability scope.
+_ScanResult = tuple[CountryPartial, Optional[float], Optional["ScanObs"]]
 
-def _init_worker(config: WorldConfig, max_depth: int) -> None:
-    """Pool initializer: rebuild the world and pipeline once per worker."""
+
+def _init_worker(config: WorldConfig, max_depth: int, observe: bool) -> None:
+    """Pool initializer: rebuild the world and pipeline once per worker.
+
+    ``observe`` gives the worker pipeline a capture-only observability
+    sink: scopes are buffered per task and shipped back with the
+    partial instead of merging in the worker, so a long-lived pool
+    never accumulates spans and the *driver* performs every merge (in
+    submission order — the same discipline as the data reductions).
+    """
     global _WORKER_PIPELINE
     from repro.core.pipeline import Pipeline
     from repro.datagen.generator import SyntheticWorld
 
     world = SyntheticWorld.generate(config)
-    _WORKER_PIPELINE = Pipeline(world, max_depth=max_depth)
+    obs = None
+    if observe:
+        from repro.obs import Observability
+
+        obs = Observability(capture_only=True)
+    _WORKER_PIPELINE = Pipeline(world, max_depth=max_depth, obs=obs)
 
 
-def _scan_one(code: str) -> CountryPartial:
+def _scan_one(code: str) -> _ScanResult:
     """Worker task: phase 1 for a single country."""
-    assert _WORKER_PIPELINE is not None, "worker initializer did not run"
-    return _WORKER_PIPELINE.scan_partial(code)
+    pipeline = _WORKER_PIPELINE
+    assert pipeline is not None, "worker initializer did not run"
+    partial = pipeline.scan_partial(code)
+    scope = None
+    if pipeline.obs is not None:
+        captured = pipeline.obs.take_scans()
+        scope = captured[-1] if captured else None
+    return partial, pipeline.scan_seconds.get(code.upper()), scope
 
 
 class ProcessExecutor(ExecutionStrategy):
@@ -60,20 +86,24 @@ class ProcessExecutor(ExecutionStrategy):
             raise ValueError("workers must be a positive integer")
         self.workers = workers or os.cpu_count() or 1
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        self._pool_key: Optional[tuple[WorldConfig, int]] = None
+        self._pool_key: Optional[tuple[WorldConfig, int, bool]] = None
 
     def _ensure_pool(
-        self, config: WorldConfig, max_depth: int
+        self, config: WorldConfig, max_depth: int, observe: bool
     ) -> concurrent.futures.ProcessPoolExecutor:
-        key = (config, max_depth)
+        key = (config, max_depth, observe)
         if self._pool is not None and self._pool_key != key:
             # The pool's workers hold a pipeline for a different world.
             self.close()
         if self._pool is None:
+            logger.debug(
+                "starting process pool: workers=%d observe=%s",
+                self.workers, observe,
+            )
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(config, max_depth),
+                initargs=(config, max_depth, observe),
             )
             self._pool_key = key
         return self._pool
@@ -88,9 +118,22 @@ class ProcessExecutor(ExecutionStrategy):
                 "rebuilt inside worker processes — use SerialExecutor or "
                 "ThreadExecutor"
             )
-        pool = self._ensure_pool(pipeline.world.config, pipeline.crawler.max_depth)
+        obs = pipeline.obs
+        pool = self._ensure_pool(
+            pipeline.world.config, pipeline.crawler.max_depth, obs is not None
+        )
         # map preserves submission order, so merges stay deterministic.
-        return list(pool.map(_scan_one, codes))
+        results: list[_ScanResult] = list(pool.map(_scan_one, codes))
+        partials: list[CountryPartial] = []
+        for code, (partial, seconds, scope) in zip(codes, results):
+            if seconds is not None:
+                pipeline.scan_seconds[code.upper()] = seconds
+            if obs is not None and scope is not None:
+                # Absorbing in submission order keeps the merged trace
+                # and metrics identical across executors.
+                obs.absorb_scan(scope)
+            partials.append(partial)
+        return partials
 
     def finalize(
         self,

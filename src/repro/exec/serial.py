@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING, Sequence
 
 from repro.exec.base import ExecutionStrategy
@@ -9,6 +10,8 @@ from repro.exec.partials import CountryPartial
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import Pipeline
+
+logger = logging.getLogger(__name__)
 
 
 class SerialExecutor(ExecutionStrategy):
@@ -19,6 +22,7 @@ class SerialExecutor(ExecutionStrategy):
     def scan(
         self, pipeline: "Pipeline", codes: Sequence[str]
     ) -> list[CountryPartial]:
+        logger.debug("scanning %d countries inline", len(codes))
         return [pipeline.scan_partial(code) for code in codes]
 
 

@@ -15,6 +15,7 @@ CPU-bound synthetic scan the GIL caps the speedup, which is why
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
 
 from repro.exec.base import ExecutionStrategy
@@ -22,6 +23,8 @@ from repro.exec.partials import CountryPartial
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import Pipeline
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 
@@ -39,6 +42,7 @@ class ThreadExecutor(ExecutionStrategy):
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
         if self._pool is None:
+            logger.debug("starting thread pool: workers=%s", self.workers)
             self._pool = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-scan"
             )

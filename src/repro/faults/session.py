@@ -131,6 +131,17 @@ class FaultSession:
         return Episode(injected=injected, retried=retries, recovered=False,
                        degraded=True, backoff_ms=backoff_ms)
 
+    @property
+    def episodes_evaluated(self) -> int:
+        """Distinct fault-eligible operations this session has decided.
+
+        A pure function of ``(plan, country, workload)`` like the report
+        itself, so the observability layer may count it per shard and
+        still merge deterministically.  Reading it never advances the
+        simulated clock or any fault decision stream.
+        """
+        return len(self._episodes)
+
     def operation_fails(self, domain: str, *key: object) -> bool:
         """True when an operation exhausts every retry and must degrade."""
         return self.episode(domain, *key).degraded

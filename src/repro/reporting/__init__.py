@@ -8,11 +8,13 @@ from repro.reporting.figures import (
     render_region_table,
 )
 from repro.reporting.paper_report import render_paper_report
+from repro.reporting.obs import render_run_summary
 
 __all__ = [
     "render_table",
     "format_fraction",
     "render_fault_report",
+    "render_run_summary",
     "render_mix_bars",
     "render_split_bars",
     "render_region_table",

@@ -1,0 +1,90 @@
+"""Rendering of observability data (``repro.obs``) as run summaries."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.reporting.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+    from repro.obs.trace import Span
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 60.0:
+        minutes, rest = divmod(seconds, 60.0)
+        return f"{int(minutes)}m{rest:04.1f}s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _stage_rows(run_span: "Span") -> list[tuple]:
+    """One row per driver phase, with per-country rows under ``scan``."""
+    total = run_span.duration_s or 1.0
+    rows: list[tuple] = []
+    for phase in run_span.children:
+        rows.append((phase.name, _format_seconds(phase.duration_s),
+                     f"{phase.duration_s / total:.0%}"))
+        if phase.name == "scan":
+            for scan in phase.children:
+                country = scan.tags.get("country", "?")
+                rows.append((f"  scan {country}",
+                             _format_seconds(scan.duration_s), ""))
+    return rows
+
+
+def render_run_summary(obs: "Observability",
+                       cache_line: Optional[str] = None) -> str:
+    """Human-readable digest of one observed run.
+
+    Renders the stage timing table from the trace, the headline
+    counters from the merged metrics (crawl volume, geolocation funnel,
+    fault totals) and, when given, the cache's one-line summary.
+    Purely read-side: rendering never mutates the tracer or registry.
+    """
+    sections: list[str] = []
+    run_span = obs.tracer.find("pipeline.run")
+    if run_span is not None:
+        header = (f"Run summary: {run_span.tags.get('countries', '?')} "
+                  f"countries via {run_span.tags.get('executor', '?')} "
+                  f"in {_format_seconds(run_span.duration_s)}")
+        sections.append(header)
+        sections.append(render_table(
+            headers=("stage", "wall time", "share"),
+            rows=_stage_rows(run_span),
+            title="Stage timings",
+        ))
+    metrics = obs.metrics
+    counter_rows = [
+        ("pages crawled", metrics.counter("crawl.page_loads")),
+        ("URLs fetched", metrics.counter("crawl.fetched_urls")),
+        ("URLs accepted", metrics.counter("filter.accepted_urls")),
+        ("hosts resolved", metrics.counter("resolve.resolved_hosts")),
+        ("addresses geolocated", metrics.counter("geo.addresses")),
+        ("  via active probing", metrics.counter("geo.funnel.active_probing")),
+        ("  via HOIHO", metrics.counter("geo.funnel.hoiho")),
+        ("  via IPmap", metrics.counter("geo.funnel.ipmap")),
+        ("  via single-radius", metrics.counter("geo.funnel.single_radius")),
+        ("  anycast", metrics.counter("geo.funnel.anycast")),
+        ("  excluded", metrics.counter("geo.funnel.excluded")),
+    ]
+    injected = metrics.counter("faults.injected")
+    if injected:
+        counter_rows.extend([
+            ("faults injected", injected),
+            ("faults recovered", metrics.counter("faults.recovered")),
+            ("faults degraded", metrics.counter("faults.degraded")),
+        ])
+    sections.append(render_table(
+        headers=("metric", "value"),
+        rows=[(name, f"{value:,}") for name, value in counter_rows],
+        title="Pipeline metrics",
+    ))
+    if cache_line:
+        sections.append(f"cache: {cache_line}")
+    return "\n\n".join(sections)
+
+
+__all__ = ["render_run_summary"]

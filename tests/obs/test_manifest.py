@@ -1,0 +1,123 @@
+"""Run manifests: collection, round-trip, fingerprint stability."""
+
+import json
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.cache.fingerprint import run_fingerprint
+from repro.obs import Observability, RunManifest, manifest_path_for
+
+COUNTRIES = ("BR", "US", "FR")
+CONFIG = WorldConfig(seed=21, scale=0.02, countries=COUNTRIES,
+                     include_topsites=False)
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    world = SyntheticWorld.generate(CONFIG)
+    pipeline = Pipeline(world, obs=Observability())
+    dataset = pipeline.run(list(COUNTRIES))
+    return pipeline, dataset
+
+
+def test_collect_records_run_identity(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset, obs=pipeline.obs)
+    assert manifest.seed == CONFIG.seed
+    assert manifest.scale == CONFIG.scale
+    assert manifest.countries == sorted(COUNTRIES)
+    assert manifest.executor == "serial"
+    assert manifest.max_depth == pipeline.crawler.max_depth
+    assert manifest.fault_rate == 0.0
+    assert manifest.faults == {"injected": 0, "retried": 0,
+                               "recovered": 0, "degraded": 0}
+    assert manifest.cache is None
+    summary = dataset.summarize()
+    assert manifest.summary["total_unique_urls"] == summary.total_unique_urls
+    assert manifest.summary["unique_hostnames"] == summary.unique_hostnames
+
+
+def test_collect_fingerprint_matches_cache_derivation(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    assert manifest.fingerprint == run_fingerprint(
+        CONFIG, pipeline.crawler.max_depth, pipeline.fault_plan
+    )
+
+
+def test_fingerprint_is_stable_and_input_sensitive(observed_run):
+    pipeline, dataset = observed_run
+    first = RunManifest.collect(pipeline, dataset)
+    second = RunManifest.collect(pipeline, dataset)
+    assert first.fingerprint == second.fingerprint
+
+    other_config = WorldConfig(seed=22, scale=0.02, countries=COUNTRIES,
+                               include_topsites=False)
+    assert run_fingerprint(
+        other_config, pipeline.crawler.max_depth, pipeline.fault_plan
+    ) != first.fingerprint
+
+
+def test_stage_seconds_come_from_the_trace(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset, obs=pipeline.obs)
+    assert set(manifest.stage_seconds) == {"total", "scan", "merge",
+                                           "finalize"}
+    assert manifest.stage_seconds["total"] >= manifest.stage_seconds["scan"]
+    untraced = RunManifest.collect(pipeline, dataset)
+    assert untraced.stage_seconds == {}
+
+
+def test_versions_cover_the_reproducibility_surface(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    assert set(manifest.versions) >= {"repro", "python", "numpy",
+                                      "implementation"}
+
+
+def test_write_read_round_trip(observed_run, tmp_path):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset, obs=pipeline.obs)
+    path = manifest.write(tmp_path / "ds.jsonl.manifest.json")
+    restored = RunManifest.read(path)
+    assert restored == manifest
+    # The on-disk form is stable, sorted JSON.
+    data = json.loads(path.read_text())
+    assert list(data) == sorted(data)
+
+
+def test_read_rejects_unknown_format(observed_run, tmp_path):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    path = manifest.write(tmp_path / "m.json")
+    payload = json.loads(path.read_text())
+    payload["format"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="unsupported manifest format"):
+        RunManifest.read(path)
+
+
+def test_from_dict_ignores_unknown_fields(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    payload = manifest.to_dict()
+    payload["added_in_a_future_version"] = True
+    assert RunManifest.from_dict(payload) == manifest
+
+
+def test_manifest_path_is_a_dataset_sibling(tmp_path):
+    assert manifest_path_for(tmp_path / "run.jsonl").name == \
+        "run.jsonl.manifest.json"
+
+
+def test_faulted_run_manifest_accounts_faults():
+    config = WorldConfig(seed=21, scale=0.02, countries=COUNTRIES,
+                         include_topsites=False, fault_rate=0.2)
+    world = SyntheticWorld.generate(config)
+    pipeline = Pipeline(world)
+    dataset = pipeline.run(list(COUNTRIES))
+    manifest = RunManifest.collect(pipeline, dataset)
+    assert manifest.fault_rate == 0.2
+    assert manifest.faults["injected"] > 0
+    assert manifest.fault_seed == pipeline.fault_plan.seed

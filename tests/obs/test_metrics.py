@@ -1,0 +1,120 @@
+"""Monoid laws and serialization of the metrics registry.
+
+The merge contract is what makes parallel metrics deterministic, so it
+is tested the same way as the data reductions in ``tests/exec``:
+associativity, commutativity and identity over representative
+registries mixing all three families.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_metrics
+
+
+def _registry_a() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.count("crawl.pages", 10)
+    r.count("geo.lookups", 3)
+    r.gauge("peak.hosts", 7)
+    r.observe("depth", 0, 4)
+    r.observe("depth", 1, 2)
+    return r
+
+
+def _registry_b() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.count("crawl.pages", 5)
+    r.count("cache.hits", 2)
+    r.gauge("peak.hosts", 11)
+    r.gauge("peak.urls", 40)
+    r.observe("depth", 1, 1)
+    r.observe("size", "large", 6)
+    return r
+
+
+def _registry_c() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.count("geo.lookups", 9)
+    r.gauge("peak.hosts", 2)
+    r.observe("depth", 2, 8)
+    return r
+
+
+def test_merge_is_associative():
+    a, b, c = _registry_a(), _registry_b(), _registry_c()
+    assert (a + b) + c == a + (b + c)
+
+
+def test_merge_is_commutative():
+    a, b = _registry_a(), _registry_b()
+    assert a + b == b + a
+
+
+def test_empty_registry_is_identity():
+    a = _registry_a()
+    empty = MetricsRegistry()
+    assert a + empty == a
+    assert empty + a == a
+    assert not empty
+    assert a
+
+
+def test_counters_sum_histograms_sum_gauges_max():
+    merged = _registry_a() + _registry_b()
+    assert merged.counter("crawl.pages") == 15
+    assert merged.counter("cache.hits") == 2
+    assert merged.gauge_value("peak.hosts") == 11
+    assert merged.gauge_value("peak.urls") == 40
+    assert merged.histogram("depth") == {0: 4, 1: 3}
+    assert merged.histogram("size") == {"large": 6}
+
+
+def test_merge_does_not_mutate_operands():
+    a, b = _registry_a(), _registry_b()
+    a + b
+    assert a == _registry_a()
+    assert b == _registry_b()
+
+
+def test_merge_metrics_reduces_any_iterable():
+    merged = merge_metrics([_registry_a(), _registry_b(), _registry_c()])
+    assert merged == (_registry_a() + _registry_b()) + _registry_c()
+    assert merge_metrics([]) == MetricsRegistry()
+
+
+def test_reads_never_create_entries():
+    r = MetricsRegistry()
+    assert r.counter("never") == 0
+    assert r.gauge_value("never") is None
+    assert r.histogram("never") == {}
+    assert not r
+
+
+def test_to_dict_round_trips_through_json():
+    a = _registry_a() + _registry_b()
+    payload = json.loads(json.dumps(a.to_dict()))
+    assert MetricsRegistry.from_dict(payload) == a
+
+
+def test_to_dict_is_canonically_sorted():
+    r = MetricsRegistry()
+    r.count("zebra")
+    r.count("alpha")
+    assert list(r.to_dict()["counters"]) == ["alpha", "zebra"]
+
+
+def test_histogram_buckets_restore_integer_keys():
+    r = MetricsRegistry()
+    r.observe("depth", 3, 2)
+    r.observe("depth", -1, 1)
+    r.observe("kind", "big", 4)
+    restored = MetricsRegistry.from_dict(json.loads(json.dumps(r.to_dict())))
+    assert restored.histogram("depth") == {3: 2, -1: 1}
+    assert restored.histogram("kind") == {"big": 4}
+
+
+def test_add_rejects_foreign_types():
+    with pytest.raises(TypeError):
+        _registry_a() + 3

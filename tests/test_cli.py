@@ -98,3 +98,69 @@ def test_run_cache_clear(tmp_path, capsys):
 def test_run_cache_clear_requires_cache_dir(capsys):
     assert main(["run", "--cache-clear"]) == 2
     assert "--cache-clear requires --cache-dir" in capsys.readouterr().err
+
+
+def test_run_observed_writes_artifacts_and_identical_dataset(tmp_path,
+                                                             capsys):
+    import json
+
+    base = ["run", "--seed", "5", "--scale", "0.05",
+            "--countries", "UY", "PY"]
+    bare = tmp_path / "bare.jsonl"
+    assert main(base + ["--out", str(bare)]) == 0
+    capsys.readouterr()
+
+    observed = tmp_path / "observed.jsonl"
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(base + [
+        "--out", str(observed), "--manifest",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Run summary:" in out
+    assert "Stage timings" in out
+
+    # Observability is zero-perturbation through the CLI too.
+    assert observed.read_bytes() == bare.read_bytes()
+
+    trace_data = json.loads(trace.read_text())
+    assert trace_data["format"] == 1
+    assert trace_data["spans"][0]["name"] == "pipeline.run"
+    chrome = json.loads((tmp_path / "trace.chrome.json").read_text())
+    assert chrome["traceEvents"][0]["ph"] == "X"
+    metrics_data = json.loads(metrics.read_text())
+    assert metrics_data["counters"]["geo.addresses"] > 0
+    manifest = json.loads((tmp_path / "observed.jsonl.manifest.json")
+                          .read_text())
+    assert manifest["seed"] == 5
+    assert manifest["countries"] == ["PY", "UY"]
+    assert set(manifest["stage_seconds"]) == {"total", "scan", "merge",
+                                              "finalize"}
+
+
+def test_run_manifest_requires_out(capsys):
+    assert main(["run", "--manifest", "--countries", "UY"]) == 2
+    assert "--manifest requires --out" in capsys.readouterr().err
+
+
+def test_run_progress_heartbeat_on_stderr(capsys):
+    assert main(["run", "--seed", "5", "--scale", "0.05",
+                 "--countries", "UY", "PY", "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "scanned UY" in err
+    assert "scanned PY" in err
+    assert "[2/2]" in err
+
+
+def test_verbose_flag_logs_pipeline_progress(capsys):
+    assert main(["-v", "run", "--seed", "5", "--scale", "0.05",
+                 "--countries", "UY"]) == 0
+    err = capsys.readouterr().err
+    assert "pipeline run: 1 countries via serial" in err
+
+
+def test_quiet_flag_suppresses_info_logs(capsys):
+    assert main(["-q", "run", "--seed", "5", "--scale", "0.05",
+                 "--countries", "UY"]) == 0
+    assert "pipeline run" not in capsys.readouterr().err
