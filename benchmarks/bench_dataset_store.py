@@ -1,0 +1,130 @@
+"""Dataset store vs jsonl: cold-load time, report time and peak RSS.
+
+Builds one world at 5x the benchmark scale (the "large world" the store
+exists for), exports it both ways, and measures each backend in a
+*subprocess* -- ``resource.getrusage`` reports the process-lifetime
+maximum RSS, so the two paths must not share a process (whichever ran
+second would inherit the first one's peak).  Each child prints one JSON
+line: load time, report time, peak RSS and the report's SHA-256.
+
+Archived as ``BENCH_store.json``.  Gates:
+
+* both backends render the byte-identical report (sha compare);
+* the cold store load (manifests + stat checks, no column bytes) beats
+  a full jsonl parse -- >=5x at ``REPRO_BENCH_SCALE`` >= 0.2, >=1x on
+  smaller smoke runs;
+* the store-backed report's peak RSS stays at or below the jsonl
+  path's (which must materialize every record before analyzing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.io import save_dataset
+from repro.store import write_store
+
+#: The store targets worlds larger than analysis benchmarks use.
+RSS_SCALE = BENCH_SCALE * 5
+
+_CHILD = r"""
+import hashlib, json, resource, sys, time
+
+# Imports stay outside every timed window: both children pay the same
+# interpreter + numpy startup, and load_s measures only the load.
+from repro.io import load_dataset
+from repro.store import load_store_dataset
+from repro.reporting.paper_report import render_paper_report
+
+backend, path = sys.argv[1], sys.argv[2]
+loader = load_store_dataset if backend == "store" else load_dataset
+t0 = time.perf_counter()
+dataset = loader(path)
+load_s = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+text = render_paper_report(dataset)
+report_s = time.perf_counter() - t0
+
+print(json.dumps({
+    "load_s": load_s,
+    "report_s": report_s,
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "report_sha": hashlib.sha256(text.encode()).hexdigest(),
+}))
+"""
+
+
+def _measure(backend: str, path: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    src = pathlib.Path(__file__).parent.parent / "src"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src), env.get("PYTHONPATH")) if p
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", _CHILD, backend, str(path)],
+        check=True, capture_output=True, text=True, env=env,
+    ).stdout
+    return json.loads(output.strip().splitlines()[-1])
+
+
+def test_store_vs_jsonl(report, tmp_path_factory):
+    world_dir = tmp_path_factory.mktemp("store_bench")
+    config = WorldConfig(seed=BENCH_SEED, scale=RSS_SCALE)
+    dataset = Pipeline(SyntheticWorld.generate(config)).run()
+    records = sum(cd.url_count for cd in dataset.countries.values())
+
+    jsonl_path = world_dir / "world.jsonl"
+    save_dataset(dataset, jsonl_path)
+    store_path = world_dir / "world.store"
+    write_store(dataset, store_path)
+
+    jsonl = _measure("jsonl", jsonl_path)
+    store = _measure("store", store_path)
+
+    assert store["report_sha"] == jsonl["report_sha"], \
+        "store-backed report diverged from the jsonl-backed report"
+
+    load_speedup = (jsonl["load_s"] / store["load_s"]
+                    if store["load_s"] else float("inf"))
+    rss_ratio = (store["maxrss_kb"] / jsonl["maxrss_kb"]
+                 if jsonl["maxrss_kb"] else float("inf"))
+    report(
+        "dataset_store",
+        f"records={records} (scale {RSS_SCALE})\n"
+        f"cold load:  jsonl {jsonl['load_s']:.3f} s, "
+        f"store {store['load_s']:.3f} s ({load_speedup:.1f}x)\n"
+        f"report:     jsonl {jsonl['report_s']:.3f} s, "
+        f"store {store['report_s']:.3f} s\n"
+        f"peak RSS:   jsonl {jsonl['maxrss_kb']} KiB, "
+        f"store {store['maxrss_kb']} KiB ({rss_ratio:.2f}x)",
+    )
+    write_bench_json("store", {
+        "scale": BENCH_SCALE,
+        "rss_scale": RSS_SCALE,
+        "seed": BENCH_SEED,
+        "records": records,
+        "jsonl_load_s": round(jsonl["load_s"], 6),
+        "store_load_s": round(store["load_s"], 6),
+        "load_speedup": round(load_speedup, 2),
+        "jsonl_report_s": round(jsonl["report_s"], 6),
+        "store_report_s": round(store["report_s"], 6),
+        "jsonl_peak_rss_kb": jsonl["maxrss_kb"],
+        "store_peak_rss_kb": store["maxrss_kb"],
+        "rss_ratio": round(rss_ratio, 4),
+        "identical_report": True,
+    })
+    floor = 5.0 if BENCH_SCALE >= 0.2 else 1.0
+    assert load_speedup >= floor, \
+        f"expected >={floor}x cold-load speedup, got {load_speedup:.2f}x"
+    assert store["maxrss_kb"] <= jsonl["maxrss_kb"], (
+        f"store peak RSS {store['maxrss_kb']} KiB exceeds the "
+        f"record-materializing jsonl path ({jsonl['maxrss_kb']} KiB)"
+    )

@@ -6,11 +6,13 @@ digits to keep directories small)::
     <cache_dir>/<key[:2]>/<key>.partial
     ┌──────────────────────────────────────────────┐
     │ header JSON line (format, key, country,      │
-    │   meta_bytes, bulk_bytes, digest, scan_s)    │
+    │   meta_bytes, bulk_bytes, bulk codec,        │
+    │   digest, scan_s)                            │
     │ meta pickle (merge inputs: counts, verdicts, │
     │   footprint, faults)                         │
-    │ bulk pickle ((hosts, urls) — record          │
-    │   assembly's inputs)                         │
+    │ bulk segment ((hosts, urls) — record         │
+    │   assembly's inputs; columnar section pack   │
+    │   by default, pickle as fallback)            │
     └──────────────────────────────────────────────┘
 
 The payload is split so a warm start pays only for what the driver's
@@ -43,6 +45,7 @@ import pickle
 import weakref
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro.cache import columnar
 from repro.cache.fingerprint import (
     CACHE_FORMAT_VERSION,
     country_key,
@@ -219,7 +222,14 @@ class ScanCache:
             or header.get("digest") != _digest(payload)
         ):
             return None
-        bulk_blob = payload[meta_bytes:]
+        bulk_codec = header.get("bulk", columnar.BULK_PICKLE)
+        if bulk_codec == columnar.BULK_COLUMNAR:
+            load_bulk = functools.partial(columnar.decode_bulk,
+                                          payload[meta_bytes:])
+        elif bulk_codec == columnar.BULK_PICKLE:
+            load_bulk = functools.partial(pickle.loads, payload[meta_bytes:])
+        else:
+            return None
         try:
             meta = pickle.loads(payload[:meta_bytes])
             (country_field, landing_count, discarded_url_count,
@@ -238,7 +248,7 @@ class ScanCache:
             verdicts=verdicts,
             footprint=footprint,
             faults=faults,
-            bulk=functools.partial(pickle.loads, bulk_blob),
+            bulk=load_bulk,
         )
         return header, partial
 
@@ -257,9 +267,18 @@ class ScanCache:
              partial.footprint, partial.faults),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        bulk = pickle.dumps(
-            (partial.hosts, partial.urls), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        # Bulk goes columnar (typed columns decode without building a
+        # pickle object graph); anything the columnar model can't carry
+        # falls back to pickle, flagged in the header.
+        try:
+            bulk = columnar.encode_bulk(partial.hosts, partial.urls)
+            bulk_codec = columnar.BULK_COLUMNAR
+        except Exception:
+            bulk = pickle.dumps(
+                (partial.hosts, partial.urls),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            bulk_codec = columnar.BULK_PICKLE
         payload = meta + bulk
         header = {
             "format": CACHE_FORMAT_VERSION,
@@ -267,6 +286,7 @@ class ScanCache:
             "country": partial.country,
             "meta_bytes": len(meta),
             "bulk_bytes": len(bulk),
+            "bulk": bulk_codec,
             "digest": _digest(payload),
             "scan_s": round(scan_s, 6),
         }

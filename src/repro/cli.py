@@ -5,8 +5,10 @@
     repro-gov run --scale 0.05 --out dataset.jsonl   # generate + measure + save
     repro-gov run --scale 0.05 --cache-dir .scan     # warm-start on re-runs
     repro-gov run --scale 0.05 --out d.jsonl --manifest --trace-out trace.json
+    repro-gov run --scale 0.05 --store-dir world.store  # columnar store
     repro-gov report dataset.jsonl                   # analyses over a saved run
-    repro-gov report dataset.jsonl --section providers
+    repro-gov report world.store --section full      # same, zero-copy store
+    repro-gov convert dataset.jsonl world.store      # jsonl <-> store
     repro-gov inspect --hostname www.gub.uy          # one hostname end to end
 
 Every command is deterministic given ``--seed``; the observability
@@ -56,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the dataset as JSON lines")
     run.add_argument("--csv", metavar="PATH",
                      help="also export a flat CSV")
+    run.add_argument("--store-dir", metavar="PATH",
+                     help="write the dataset as a sharded columnar store "
+                          "(mmap-backed analyses; see `repro-gov convert`)")
     run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
                      help="execution strategy for the per-country scans "
                           "(default: serial; --workers alone implies "
@@ -98,10 +103,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           "scans complete")
 
     report = subparsers.add_parser(
-        "report", help="print analyses over a saved dataset"
+        "report", help="print analyses over a saved dataset "
+                       "(a jsonl file or a columnar store directory)"
     )
     report.add_argument("dataset", metavar="PATH")
     report.add_argument("--section", choices=_SECTIONS, default="summary")
+
+    convert = subparsers.add_parser(
+        "convert", help="convert between the jsonl export and the "
+                        "columnar store (direction inferred from SRC)"
+    )
+    convert.add_argument("src", metavar="SRC",
+                         help="a jsonl dataset file or a store directory")
+    convert.add_argument("dst", metavar="DST",
+                         help="the store directory (from jsonl) or jsonl "
+                              "file (from a store) to write")
+    convert.add_argument("--overwrite", action="store_true",
+                         help="replace DST if it already exists")
+    convert.add_argument("--verify", action="store_true",
+                         help="re-hash every column of the store side "
+                              "against its manifest digests")
 
     inspect = subparsers.add_parser(
         "inspect", help="trace one hostname through the pipeline"
@@ -195,6 +216,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         written = export_csv(dataset, args.csv)
         print(f"wrote {written:,} rows to {args.csv}")
+    if args.store_dir:
+        from repro.store import write_store
+
+        result = write_store(dataset, args.store_dir, overwrite=True)
+        print(f"wrote {result.record_count:,} records over "
+              f"{result.shard_count} shards to {args.store_dir}")
     if obs is not None:
         if args.trace_out:
             _write_json(args.trace_out, obs.tracer.to_dict())
@@ -223,11 +250,22 @@ def _chrome_trace_path(trace_out: str) -> str:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.io import load_dataset
+    from repro.store import is_store_path
 
-    dataset = load_dataset(args.dataset)
+    if is_store_path(args.dataset):
+        from repro.store import load_store_dataset
+
+        dataset = load_store_dataset(args.dataset)
+    else:
+        from repro.io import load_dataset
+
+        dataset = load_dataset(args.dataset)
     if args.section == "summary":
-        summary = dataset.summarize()
+        from repro.analysis.engine import ensure_index
+
+        # Via the index, not dataset.summarize(): over a store this
+        # streams the mmapped columns instead of materializing records.
+        summary = ensure_index(dataset).summary()
         rows = [[field, f"{getattr(summary, field):,}"]
                 for field in ("landing_urls", "internal_urls",
                               "total_unique_urls", "unique_hostnames", "ases",
@@ -283,6 +321,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 in single_network_dependence(dataset).items()]
         print(render_table(["dominant source", ">50% on one network"], rows,
                            title="Diversification (Figure 11)"))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.store import (
+        DatasetStore,
+        StoreError,
+        is_store_path,
+        jsonl_to_store,
+        store_to_jsonl,
+    )
+
+    src = pathlib.Path(args.src)
+    dst = pathlib.Path(args.dst)
+    try:
+        if is_store_path(src):
+            store = DatasetStore(src)
+            if args.verify:
+                store.verify()
+                print(f"verified {store.record_count:,} records over "
+                      f"{len(store.countries)} shards in {src}")
+            if dst.exists() and not args.overwrite:
+                print(f"error: {dst} exists (pass --overwrite)",
+                      file=sys.stderr)
+                return 2
+            written = store_to_jsonl(store, dst)
+            print(f"wrote {written:,} records to {dst}")
+        else:
+            result = jsonl_to_store(src, dst, overwrite=args.overwrite)
+            print(f"wrote {result.record_count:,} records over "
+                  f"{result.shard_count} shards to {dst}")
+            if args.verify:
+                DatasetStore(dst).verify()
+                print(f"verified {dst} against its manifest digests")
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -358,6 +438,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -74,11 +74,19 @@ class CountryDataset:
     when — or from which thread — it first runs, and a warm-started
     pipeline run that never touches the records skips the cost
     entirely.
+
+    Deferred views can additionally carry what the metadata layer
+    already knows — ``record_count``, a ``hostname_loader`` and
+    ``total_bytes`` — so :attr:`url_count`, :attr:`hostnames` and
+    :attr:`total_bytes` answer without triggering record assembly.
+    The columnar dataset store (:mod:`repro.store`) passes all three,
+    which is what keeps whole-report runs record-free.
     """
 
     __slots__ = ("country", "landing_count", "discarded_url_count",
                  "unresolved_hostnames", "depth_histogram",
-                 "_records", "_assemble", "_hostnames", "_total_bytes")
+                 "_records", "_assemble", "_hostnames", "_total_bytes",
+                 "_record_count", "_hostname_loader")
 
     def __init__(
         self,
@@ -88,6 +96,10 @@ class CountryDataset:
         discarded_url_count: int,
         unresolved_hostnames: list[str],
         depth_histogram: dict[int, int],
+        *,
+        record_count: Optional[int] = None,
+        hostname_loader=None,
+        total_bytes: Optional[int] = None,
     ) -> None:
         self.country = country
         self.landing_count = landing_count
@@ -95,7 +107,9 @@ class CountryDataset:
         self.unresolved_hostnames = unresolved_hostnames
         self.depth_histogram = depth_histogram
         self._hostnames: Optional[set[str]] = None
-        self._total_bytes: Optional[int] = None
+        self._total_bytes: Optional[int] = total_bytes
+        self._record_count = record_count
+        self._hostname_loader = hostname_loader
         if callable(records):
             self._records: Optional[list[UrlRecord]] = None
             self._assemble = records
@@ -140,12 +154,14 @@ class CountryDataset:
     @property
     def url_count(self) -> int:
         """Unique government URLs (landing + internal)."""
+        if self._records is None and self._record_count is not None:
+            return self._record_count
         return len(self.records)
 
     @property
     def internal_count(self) -> int:
         """Internal URLs: everything beyond the landing pages."""
-        return max(0, len(self.records) - self.landing_count)
+        return max(0, self.url_count - self.landing_count)
 
     @property
     def hostnames(self) -> set[str]:
@@ -153,7 +169,10 @@ class CountryDataset:
         immutable once materialized, so the set never changes)."""
         hostnames = self._hostnames
         if hostnames is None:
-            hostnames = {record.hostname for record in self.records}
+            if self._hostname_loader is not None:
+                hostnames = set(self._hostname_loader())
+            else:
+                hostnames = {record.hostname for record in self.records}
             self._hostnames = hostnames
         return hostnames
 

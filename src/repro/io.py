@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import pathlib
 from typing import Union
 
@@ -20,8 +21,15 @@ from repro.core.geolocation import ValidationMethod, ValidationStats
 from repro.core.urlfilter import FilterVia
 from repro.faults.report import FaultReport
 
+logger = logging.getLogger(__name__)
+
 #: Format marker written into every export header.
 FORMAT_VERSION = 1
+
+#: Record count past which :func:`load_dataset` warns that the jsonl
+#: path is the wrong tool (one JSON parse + one ``UrlRecord`` per line)
+#: and points at the columnar store (``repro-gov convert``).
+LARGE_FILE_RECORDS = 1_000_000
 
 PathLike = Union[str, pathlib.Path]
 
@@ -68,6 +76,29 @@ def record_from_dict(data: dict) -> UrlRecord:
     )
 
 
+def dataset_header(dataset: GovernmentHostingDataset) -> dict:
+    """The jsonl header object (shared with ``repro.store`` conversions,
+    which must reproduce :func:`save_dataset` output byte for byte)."""
+    header = {
+        "format": FORMAT_VERSION,
+        "validation": dataclasses.asdict(dataset.validation),
+        "countries": {
+            code: {
+                "landing_count": cd.landing_count,
+                "discarded_url_count": cd.discarded_url_count,
+                "unresolved_hostnames": cd.unresolved_hostnames,
+                "depth_histogram": cd.depth_histogram,
+            }
+            for code, cd in sorted(dataset.countries.items())
+        },
+    }
+    # The key is only written for faulted runs, so exports from
+    # rate-0 runs stay byte-identical to pre-fault-layer exports.
+    if dataset.faults.countries:
+        header["faults"] = dataset.faults.to_dict()
+    return header
+
+
 def save_dataset(dataset: GovernmentHostingDataset, path: PathLike) -> int:
     """Write the dataset as JSON lines; returns the number of records.
 
@@ -77,45 +108,65 @@ def save_dataset(dataset: GovernmentHostingDataset, path: PathLike) -> int:
     path = pathlib.Path(path)
     count = 0
     with path.open("w", encoding="utf-8") as handle:
-        header = {
-            "format": FORMAT_VERSION,
-            "validation": dataclasses.asdict(dataset.validation),
-            "countries": {
-                code: {
-                    "landing_count": cd.landing_count,
-                    "discarded_url_count": cd.discarded_url_count,
-                    "unresolved_hostnames": cd.unresolved_hostnames,
-                    "depth_histogram": cd.depth_histogram,
-                }
-                for code, cd in sorted(dataset.countries.items())
-            },
-        }
-        # The key is only written for faulted runs, so exports from
-        # rate-0 runs stay byte-identical to pre-fault-layer exports.
-        if dataset.faults.countries:
-            header["faults"] = dataset.faults.to_dict()
-        handle.write(json.dumps(header) + "\n")
+        handle.write(json.dumps(dataset_header(dataset)) + "\n")
         for record in dataset.iter_records():
             handle.write(json.dumps(record_to_dict(record)) + "\n")
             count += 1
     return count
 
 
+def _reject_duplicate_keys(pairs: list) -> dict:
+    """``object_pairs_hook`` for the header: a duplicate key (usually a
+    country listed twice) silently drops data under plain ``json.loads``
+    (last value wins), so fail loudly instead."""
+    mapping: dict = {}
+    for key, value in pairs:
+        if key in mapping:
+            raise ValueError(f"duplicate key {key!r} in dataset header")
+        mapping[key] = value
+    return mapping
+
+
 def load_dataset(path: PathLike) -> GovernmentHostingDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Every ``CountryDataset`` is constructed up front from the header
+    and records are appended into it as the file streams by, so peak
+    memory is one copy of the records (plus the line being parsed) --
+    no intermediate per-country buckets are rebuilt at the end.
+    """
     path = pathlib.Path(path)
     with path.open("r", encoding="utf-8") as handle:
         header_line = handle.readline()
         if not header_line:
             raise ValueError(f"{path}: empty dataset file")
-        header = json.loads(header_line)
+        try:
+            header = json.loads(
+                header_line, object_pairs_hook=_reject_duplicate_keys
+            )
+        except ValueError as exc:
+            raise ValueError(f"{path}:1: corrupt header ({exc})") from exc
         if header.get("format") != FORMAT_VERSION:
             raise ValueError(
                 f"{path}: unsupported format {header.get('format')!r}"
             )
-        records_by_country: dict[str, list[UrlRecord]] = {
-            code: [] for code in header["countries"]
-        }
+        countries: dict[str, CountryDataset] = {}
+        records_by_country: dict[str, list[UrlRecord]] = {}
+        for code, meta in header["countries"].items():
+            records: list[UrlRecord] = []
+            records_by_country[code] = records
+            countries[code] = CountryDataset(
+                country=code,
+                landing_count=meta["landing_count"],
+                records=records,
+                discarded_url_count=meta["discarded_url_count"],
+                unresolved_hostnames=list(meta["unresolved_hostnames"]),
+                depth_histogram={
+                    int(depth): count
+                    for depth, count in meta["depth_histogram"].items()
+                },
+            )
+        count = 0
         for line_number, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
@@ -133,20 +184,15 @@ def load_dataset(path: PathLike) -> GovernmentHostingDataset:
                     f"countries map"
                 )
             bucket.append(record)
+            count += 1
+            if count == LARGE_FILE_RECORDS + 1:
+                logger.warning(
+                    "%s exceeds %s records; jsonl loads parse one JSON "
+                    "object per record -- convert to a columnar store "
+                    "(`repro-gov convert`) for mmap-backed analysis",
+                    path, f"{LARGE_FILE_RECORDS:,}",
+                )
 
-    countries: dict[str, CountryDataset] = {}
-    for code, meta in header["countries"].items():
-        countries[code] = CountryDataset(
-            country=code,
-            landing_count=meta["landing_count"],
-            records=records_by_country.get(code, []),
-            discarded_url_count=meta["discarded_url_count"],
-            unresolved_hostnames=list(meta["unresolved_hostnames"]),
-            depth_histogram={
-                int(depth): count
-                for depth, count in meta["depth_histogram"].items()
-            },
-        )
     validation = ValidationStats(**header["validation"])
     return GovernmentHostingDataset(
         countries=countries,
@@ -156,17 +202,26 @@ def load_dataset(path: PathLike) -> GovernmentHostingDataset:
 
 
 def export_csv(dataset: GovernmentHostingDataset, path: PathLike) -> int:
-    """Write a flat CSV of all records (for spreadsheet-style analysis)."""
+    """Write a flat CSV of all records (for spreadsheet-style analysis).
+
+    Rows are written as plain tuples in :func:`record_to_dict` order --
+    building a dict per record only for ``DictWriter`` to flatten it
+    straight back out doubles the per-row cost for nothing.
+    """
     import csv
 
     path = pathlib.Path(path)
-    fieldnames = list(record_to_dict(_DUMMY))
     count = 0
     with path.open("w", encoding="utf-8", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
-        writer.writeheader()
-        for record in dataset.iter_records():
-            writer.writerow(record_to_dict(record))
+        writer = csv.writer(handle)
+        writer.writerow(tuple(record_to_dict(_DUMMY)))
+        for r in dataset.iter_records():
+            writer.writerow((
+                r.url, r.hostname, r.country, r.size_bytes, r.via.value,
+                r.depth, r.address, r.asn, r.organization,
+                r.registered_country, r.gov_operated, r.category.value,
+                r.server_country, r.anycast, r.validation.value,
+            ))
             count += 1
     return count
 
@@ -183,6 +238,8 @@ _DUMMY = UrlRecord(
 
 __all__ = [
     "FORMAT_VERSION",
+    "LARGE_FILE_RECORDS",
+    "dataset_header",
     "record_to_dict",
     "record_from_dict",
     "save_dataset",

@@ -1,0 +1,148 @@
+"""Low-level column and string-table codecs shared by the store and cache.
+
+Three byte-level building blocks, all little-endian and
+platform-independent:
+
+* **typed columns** -- a flat buffer of one fixed-width dtype
+  (:data:`KINDS` names the allowed ones), written with
+  :func:`column_bytes` and viewed back zero-copy with
+  :func:`column_view` (over any buffer: ``bytes``, ``memoryview`` or a
+  ``numpy.memmap``).
+* **string tables** -- a UTF-8 blob plus an ``int64`` offset column of
+  length ``n + 1`` (``offsets[0] == 0``), so table entry ``i`` is
+  ``blob[offsets[i]:offsets[i + 1]]``.  Encoding preserves order, so a
+  first-seen interner round-trips exactly.
+* **section packs** -- several named byte sections concatenated behind
+  a tiny JSON directory, for single-blob consumers like the scan
+  cache's bulk segment (:mod:`repro.cache.columnar`).
+
+Content digests use BLAKE2b-128, the same discipline as
+:mod:`repro.cache.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Column kind -> platform-independent numpy dtype string.
+KINDS = {
+    "i64": "<i8",
+    "i32": "<i4",
+    "u32": "<u4",
+    "u8": "|u1",
+}
+
+#: Bytes per element, per kind (for size checks before mapping).
+KIND_ITEMSIZE = {kind: np.dtype(dtype).itemsize for kind, dtype in KINDS.items()}
+
+
+def digest(payload: bytes) -> str:
+    """BLAKE2b-128 hex digest (the store's content-address discipline)."""
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# ------------------------------------------------------------- columns
+
+def column_bytes(values, kind: str) -> bytes:
+    """Encode a sequence (or ndarray) as one typed little-endian buffer."""
+    return np.asarray(values, dtype=KINDS[kind]).tobytes()
+
+
+def column_view(buffer, kind: str) -> np.ndarray:
+    """Zero-copy ndarray view of a typed buffer written by
+    :func:`column_bytes` (empty buffers yield empty arrays)."""
+    if len(buffer) == 0:
+        return np.zeros(0, dtype=KINDS[kind])
+    return np.frombuffer(buffer, dtype=KINDS[kind])
+
+
+# -------------------------------------------------------- string tables
+
+def strtab_bytes(strings: Iterable[str]) -> tuple[bytes, bytes]:
+    """Encode strings (order-preserving) as ``(offsets, blob)`` buffers."""
+    offsets = [0]
+    chunks = []
+    total = 0
+    for text in strings:
+        raw = text.encode("utf-8")
+        chunks.append(raw)
+        total += len(raw)
+        offsets.append(total)
+    return column_bytes(offsets, "i64"), b"".join(chunks)
+
+
+def strtab_decode(offsets_buffer, blob_buffer) -> list[str]:
+    """Decode a full string table back into its ordered string list."""
+    offsets = column_view(offsets_buffer, "i64").tolist()
+    if not offsets:
+        return []
+    blob = bytes(blob_buffer)
+    return [
+        blob[start:stop].decode("utf-8")
+        for start, stop in zip(offsets, offsets[1:])
+    ]
+
+
+def strtab_length(offsets_buffer) -> int:
+    """Number of entries in a string table, from its offsets alone."""
+    count = len(offsets_buffer) // KIND_ITEMSIZE["i64"]
+    return max(0, count - 1)
+
+
+# -------------------------------------------------------- section packs
+
+def pack_sections(sections: Sequence[tuple[str, bytes]]) -> bytes:
+    """Concatenate named byte sections behind a JSON directory."""
+    directory = json.dumps(
+        [[name, len(data)] for name, data in sections]
+    ).encode("ascii")
+    return (
+        len(directory).to_bytes(4, "little")
+        + directory
+        + b"".join(data for _, data in sections)
+    )
+
+
+def unpack_sections(blob: bytes) -> dict[str, bytes]:
+    """Inverse of :func:`pack_sections`; raises ``ValueError`` on a
+    malformed pack (truncated directory or payload)."""
+    if len(blob) < 4:
+        raise ValueError("section pack too short for its directory size")
+    directory_size = int.from_bytes(blob[:4], "little")
+    directory_end = 4 + directory_size
+    if directory_end > len(blob):
+        raise ValueError("section pack directory truncated")
+    try:
+        directory = json.loads(blob[4:directory_end])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"corrupt section pack directory ({exc})") from exc
+    sections: dict[str, bytes] = {}
+    cursor = directory_end
+    for entry in directory:
+        name, size = entry
+        stop = cursor + size
+        if stop > len(blob):
+            raise ValueError(f"section pack payload truncated at {name!r}")
+        sections[name] = blob[cursor:stop]
+        cursor = stop
+    if cursor != len(blob):
+        raise ValueError("section pack carries trailing bytes")
+    return sections
+
+
+__all__ = [
+    "KINDS",
+    "KIND_ITEMSIZE",
+    "digest",
+    "column_bytes",
+    "column_view",
+    "strtab_bytes",
+    "strtab_decode",
+    "strtab_length",
+    "pack_sections",
+    "unpack_sections",
+]

@@ -1,0 +1,270 @@
+"""Zero-copy analysis index over an opened dataset store.
+
+:class:`StoreBackedIndex` is an :class:`~repro.analysis.engine.AnalysisIndex`
+whose columns are ``numpy.memmap`` views of the shard files instead of
+buffers filled by a record scan -- construction touches only manifests,
+never a record, and costs micro- not milliseconds.  Every aggregate
+table is then computed by the *base class's own methods* over
+bit-identical column values, identical interner tables (persisted in
+the store manifest in first-seen scan order) and identical spans, so
+all results -- and the rendered paper report -- are byte-for-byte equal
+to a scan-built index (held by the engine equivalence suite).
+
+Columns are *chunked*: one chunk per country shard, contiguous over the
+global record index space.  The base index only ever slices columns at
+country-span boundaries, which a chunked column serves as the shard's
+own mmap view (zero-copy); the few whole-column reductions (the Table 3
+summary) are overridden here as streaming per-shard unions, so a
+whole-dataset pass keeps at most one shard's uniques resident.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from functools import cached_property
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.analysis.engine.index import AnalysisIndex, _Interner
+from repro.core.dataset import DatasetSummary, GovernmentHostingDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.reader import DatasetStore
+
+
+class _ChunkedColumn:
+    """A virtual column over per-shard chunks, sliceable like an ndarray.
+
+    ``chunks`` load lazily (a chunk is an mmap view, opened on first
+    touch) and stay cached -- the underlying pages remain reclaimable by
+    the OS.  Span-aligned slices (the only slices the analysis index
+    takes) return the chunk's own view without copying; slices crossing
+    shard boundaries concatenate, which no index code path does.
+    """
+
+    __slots__ = ("_starts", "_bounds", "_loaders", "_chunks", "_length",
+                 "dtype")
+
+    def __init__(
+        self,
+        bounds: list[tuple[int, int]],
+        loaders: list[Callable[[], np.ndarray]],
+        length: int,
+        dtype,
+    ) -> None:
+        self._bounds = bounds
+        self._starts = [start for start, _ in bounds]
+        self._loaders = loaders
+        self._chunks: list = [None] * len(bounds)
+        self._length = length
+        self.dtype = np.dtype(dtype)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _chunk(self, i: int) -> np.ndarray:
+        chunk = self._chunks[i]
+        if chunk is None:
+            chunk = self._loaders[i]()
+            self._chunks[i] = chunk
+        return chunk
+
+    def _locate(self, position: int) -> int:
+        return bisect_right(self._starts, position) - 1
+
+    def iter_chunks(self):
+        """(start, stop, array) per non-empty shard, store order."""
+        for i, (start, stop) in enumerate(self._bounds):
+            yield start, stop, self._chunk(i)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            if key.step not in (None, 1):
+                raise ValueError("chunked columns support unit-stride slices")
+            start = 0 if key.start is None else key.start
+            stop = self._length if key.stop is None else key.stop
+            start = max(0, start + self._length if start < 0 else start)
+            stop = min(self._length,
+                       stop + self._length if stop < 0 else stop)
+            if stop <= start:
+                return np.zeros(0, dtype=self.dtype)
+            i = self._locate(start)
+            chunk_start, chunk_stop = self._bounds[i]
+            if stop <= chunk_stop:
+                return self._chunk(i)[start - chunk_start:stop - chunk_start]
+            parts = []
+            while start < stop:
+                i = self._locate(start)
+                chunk_start, chunk_stop = self._bounds[i]
+                take = min(stop, chunk_stop)
+                parts.append(
+                    self._chunk(i)[start - chunk_start:take - chunk_start]
+                )
+                start = take
+            return np.concatenate(parts)
+        index = int(key)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        i = self._locate(index)
+        return self._chunk(i)[index - self._bounds[i][0]]
+
+
+class _StoreColumns:
+    """The store-backed twin of ``engine.index._Columns``."""
+
+    __slots__ = (
+        "sizes", "addresses", "asns", "categories",
+        "gov", "anycast", "countries", "registered", "server",
+        "organizations",
+    )
+
+    _FILES = {
+        "sizes": ("sizes.i64", np.int64),
+        "addresses": ("addresses.i64", np.int64),
+        "asns": ("asns.i64", np.int64),
+        "categories": ("category.u8", np.uint8),
+        "gov": ("gov.u8", np.uint8),
+        "anycast": ("anycast.u8", np.uint8),
+        "registered": ("registered.i32", np.intc),
+        "server": ("server.i32", np.intc),
+        "organizations": ("organization.i32", np.intc),
+    }
+
+    def __init__(self, store: "DatasetStore",
+                 spans: list[tuple[str, int, int, int]]) -> None:
+        populated = [(code, country_id, start, stop)
+                     for code, country_id, start, stop in spans
+                     if stop > start]
+        length = spans[-1][3] if spans else 0
+        for attribute, (filename, dtype) in self._FILES.items():
+            setattr(self, attribute, _ChunkedColumn(
+                bounds=[(start, stop) for _, _, start, stop in populated],
+                loaders=[
+                    self._loader(store, code, filename)
+                    for code, _, _, _ in populated
+                ],
+                length=length,
+                dtype=dtype,
+            ))
+        # The per-record country-id column is constant per shard, so it
+        # is synthesized rather than stored.
+        self.countries = _ChunkedColumn(
+            bounds=[(start, stop) for _, _, start, stop in populated],
+            loaders=[
+                (lambda n=stop - start, cid=country_id:
+                 np.full(n, cid, dtype=np.intc))
+                for _, country_id, start, stop in populated
+            ],
+            length=length,
+            dtype=np.intc,
+        )
+
+    @staticmethod
+    def _loader(store: "DatasetStore", code: str,
+                filename: str) -> Callable[[], np.ndarray]:
+        return lambda: store.shard(code).column(filename)
+
+
+class StoreBackedIndex(AnalysisIndex):
+    """An ``AnalysisIndex`` served zero-copy from a store's shards."""
+
+    # Deliberately does NOT call AnalysisIndex.__init__: there is no
+    # scan.  Every attribute the base class's aggregate methods read is
+    # restored here from the store's manifests instead.
+    def __init__(self, store: "DatasetStore",
+                 dataset: GovernmentHostingDataset) -> None:
+        build_start = time.perf_counter()
+        self._dataset = dataset
+        self._store = store
+        self._countries = _restore_interner(
+            store.country_table, excluded_id=True
+        )
+        self._organizations = _restore_interner(store.organization_table)
+        self._spans = []
+        self._span_by_code = {}
+        self._crossborder_tables = {}
+        cursor = 0
+        for code in store.countries:
+            count = store.shard(code).record_count
+            country_id = dict.__getitem__(self._countries, code)
+            span = (code, country_id, cursor, cursor + count)
+            self._spans.append(span)
+            self._span_by_code[code] = (country_id, cursor, cursor + count)
+            cursor += count
+        self._total_records = cursor
+        # Pre-seed the base class's lazy ``_cols`` with chunked views.
+        self.__dict__["_cols"] = _StoreColumns(store, self._spans)
+        self.build_seconds = time.perf_counter() - build_start
+
+    @property
+    def store(self) -> "DatasetStore":
+        """The store this index reads from."""
+        return self._store
+
+    @property
+    def record_count(self) -> int:
+        return self._total_records
+
+    # The only base-class computations over *whole* columns are the
+    # Table 3 uniques; stream them per shard so no concatenated column
+    # ever materializes.  Unique-of-union-of-uniques is exact.
+    @cached_property
+    def _summary(self) -> DatasetSummary:
+        cols = self._cols
+        dataset = self._dataset
+        landing = sum(cd.landing_count for cd in dataset.countries.values())
+        hostnames: set[str] = set()
+        for country_dataset in dataset.countries.values():
+            hostnames |= country_dataset.hostnames
+        address_uniques = []
+        anycast_uniques = []
+        server_uniques = []
+        for (start, stop, addresses), (_, _, anycast), (_, _, server) in zip(
+            cols.addresses.iter_chunks(),
+            cols.anycast.iter_chunks(),
+            cols.server.iter_chunks(),
+        ):
+            address_uniques.append(np.unique(addresses))
+            anycast_uniques.append(np.unique(addresses[anycast != 0]))
+            server_uniques.append(np.unique(server))
+        return DatasetSummary(
+            landing_urls=landing,
+            internal_urls=max(0, self.record_count - landing),
+            total_unique_urls=self.record_count,
+            unique_hostnames=len(hostnames),
+            ases=len(self.organization_by_asn()),
+            government_ases=len(self.gov_asns()),
+            unique_addresses=_union_size(address_uniques, np.int64),
+            anycast_addresses=_union_size(anycast_uniques, np.int64),
+            countries_with_servers=int(np.count_nonzero(
+                _union(server_uniques, np.intc) >= 0
+            )),
+        )
+
+
+def _restore_interner(table: list, excluded_id: bool = False) -> _Interner:
+    """Rebuild a first-seen interner from its persisted table."""
+    interner = _Interner()
+    if excluded_id:
+        interner[None] = -1  # excluded server locations
+    for position, key in enumerate(table):
+        interner[key] = position
+    interner.table = list(table)
+    return interner
+
+
+def _union(uniques: list[np.ndarray], dtype) -> np.ndarray:
+    if not uniques:
+        return np.zeros(0, dtype=dtype)
+    return np.unique(np.concatenate(uniques))
+
+
+def _union_size(uniques: list[np.ndarray], dtype) -> int:
+    return int(_union(uniques, dtype).size)
+
+
+__all__ = ["StoreBackedIndex"]

@@ -1,0 +1,359 @@
+"""Reading a sharded columnar store: mmap columns, lazy record views.
+
+:class:`DatasetStore` opens a store directory, checks the manifest
+digest chain and every column file's size up front (cheap stats -- no
+column bytes are read), and then serves three progressively heavier
+views:
+
+* **columns** -- zero-copy ``numpy.memmap`` views per shard, the input
+  of the store-backed analysis index
+  (:class:`~repro.store.index.StoreBackedIndex`);
+* **metadata** -- per-country landing counts, depth histograms,
+  unresolved hostnames and hostname tables, enough for the full paper
+  report without touching a single record;
+* **records** -- materialized :class:`~repro.core.dataset.UrlRecord`
+  lists per country, the lazy compatibility view behind
+  ``CountryDataset.records`` / ``iter_records()``.  Nothing in the
+  analysis path needs them; they exist for exports and legacy callers.
+
+:meth:`DatasetStore.dataset` assembles a
+:class:`~repro.core.dataset.GovernmentHostingDataset` whose country
+views defer record assembly to their shard and whose analysis index is
+the store-backed zero-copy one, pre-attached under the same cache
+attribute :meth:`AnalysisIndex.ensure` uses -- so every existing
+analysis entry point transparently runs off the mmapped columns.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.core.dataset import CountryDataset, GovernmentHostingDataset, UrlRecord
+from repro.core.geolocation import ValidationStats
+from repro.faults.report import FaultReport
+from repro.store import codec
+from repro.store.format import (
+    CATEGORY_CODES,
+    COLUMN_FILES,
+    MANIFEST_NAME,
+    SHARD_MANIFEST_NAME,
+    STORE_FORMAT_VERSION,
+    STRTAB_FILES,
+    VALIDATION_CODES,
+    VIA_CODES,
+    StoreError,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+#: Filenames every shard must carry.
+_SHARD_FILES = tuple(COLUMN_FILES) + tuple(
+    name for pair in STRTAB_FILES for name in pair
+)
+
+
+def is_store_path(path: PathLike) -> bool:
+    """Whether ``path`` looks like a store directory (has a root manifest)."""
+    path = pathlib.Path(path)
+    return path.is_dir() and (path / MANIFEST_NAME).is_file()
+
+
+def _load_json(path: pathlib.Path) -> tuple[dict, bytes]:
+    try:
+        payload = path.read_bytes()
+    except OSError as exc:
+        raise StoreError(f"{path}: unreadable manifest ({exc})") from exc
+    try:
+        manifest = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreError(f"{path}: corrupt manifest ({exc})") from exc
+    if not isinstance(manifest, dict):
+        raise StoreError(f"{path}: manifest is not an object")
+    return manifest, payload
+
+
+class ShardReader:
+    """One country's shard: lazily mapped columns and decoded tables."""
+
+    def __init__(self, store: "DatasetStore", code: str,
+                 shard_dir: pathlib.Path, manifest: dict) -> None:
+        self.store = store
+        self.code = code
+        self.shard_dir = shard_dir
+        self.manifest = manifest
+        self.record_count: int = manifest["records"]
+        self.landing_count: int = manifest["landing_count"]
+        self.discarded_url_count: int = manifest["discarded_url_count"]
+        self.unresolved_hostnames: list[str] = list(
+            manifest["unresolved_hostnames"]
+        )
+        self.depth_histogram: dict[int, int] = {
+            int(depth): count for depth, count in manifest["depth_histogram"]
+        }
+        self.total_bytes: int = manifest["total_bytes"]
+        self._columns: dict[str, np.ndarray] = {}
+        self._hostname_table: Optional[list[str]] = None
+
+    # ------------------------------------------------------------ files
+
+    def _map_file(self, name: str, kind: Optional[str]) -> np.ndarray:
+        """mmap one column file read-only (empty files map to empty
+        arrays: ``mmap`` cannot map zero bytes)."""
+        path = self.shard_dir / name
+        expected = self.manifest["files"][name]["bytes"]
+        if expected == 0:
+            return np.zeros(0, dtype=codec.KINDS[kind or "u8"])
+        try:
+            mapped = np.memmap(path, dtype=codec.KINDS[kind or "u8"], mode="r")
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"{path}: cannot map column ({exc})") from exc
+        return mapped
+
+    def column(self, name: str) -> np.ndarray:
+        """Zero-copy view of one typed column (memoized per shard)."""
+        view = self._columns.get(name)
+        if view is None:
+            view = self._map_file(name, COLUMN_FILES.get(name, "u8"))
+            self._columns[name] = view
+        return view
+
+    def _strtab(self, idx_name: str, blob_name: str) -> list[str]:
+        idx = self._map_file(idx_name, "i64")
+        blob = self._map_file(blob_name, "u8")
+        return codec.strtab_decode(idx, blob)
+
+    # --------------------------------------------------------- metadata
+
+    def hostname_table(self) -> list[str]:
+        """The shard's interned hostnames, first-seen order (memoized)."""
+        table = self._hostname_table
+        if table is None:
+            table = self._strtab("hostnames.idx", "hostnames.blob")
+            self._hostname_table = table
+        return table
+
+    def hostname_set(self) -> set[str]:
+        """Unique hostnames of this country (no record materialization)."""
+        return set(self.hostname_table())
+
+    # ---------------------------------------------------------- records
+
+    def materialize_records(self) -> list[UrlRecord]:
+        """Rebuild the country's ``UrlRecord`` list from the columns.
+
+        This is the *compatibility* path (exports, legacy record
+        consumers); analyses never call it.  All ints come back as
+        Python ints, so round-tripped records compare equal to -- and
+        JSON-serialize identically to -- pipeline-built ones.
+        """
+        if self.record_count == 0:
+            return []
+        store = self.store
+        country_table = store.country_table
+        organization_table = store.organization_table
+        hostname_table = self.hostname_table()
+        urls = self._strtab("urls.idx", "urls.blob")
+        hostnames = [hostname_table[hid]
+                     for hid in self.column("hostname.u32").tolist()]
+        code = self.code
+        rows = zip(
+            urls,
+            hostnames,
+            [code] * self.record_count,
+            self.column("sizes.i64").tolist(),
+            [VIA_CODES[v] for v in self.column("via.u8").tolist()],
+            self.column("depth.i64").tolist(),
+            self.column("addresses.i64").tolist(),
+            self.column("asns.i64").tolist(),
+            [organization_table[o]
+             for o in self.column("organization.i32").tolist()],
+            [country_table[r] for r in self.column("registered.i32").tolist()],
+            [bool(g) for g in self.column("gov.u8").tolist()],
+            [CATEGORY_CODES[c] for c in self.column("category.u8").tolist()],
+            [None if s < 0 else country_table[s]
+             for s in self.column("server.i32").tolist()],
+            [bool(a) for a in self.column("anycast.u8").tolist()],
+            [VALIDATION_CODES[v] for v in self.column("validation.u8").tolist()],
+        )
+        return list(map(UrlRecord._make, rows))
+
+    # --------------------------------------------------------- checking
+
+    def check_sizes(self) -> None:
+        """Every listed file must exist with its recorded size."""
+        for name in _SHARD_FILES:
+            entry = self.manifest["files"].get(name)
+            if entry is None:
+                raise StoreError(
+                    f"{self.shard_dir}: shard manifest misses {name!r}"
+                )
+            path = self.shard_dir / name
+            try:
+                actual = path.stat().st_size
+            except OSError as exc:
+                raise StoreError(f"{path}: missing column file") from exc
+            if actual != entry["bytes"]:
+                raise StoreError(
+                    f"{path}: size {actual} != recorded {entry['bytes']}"
+                )
+
+    def verify(self) -> None:
+        """Re-hash every column file against its recorded digest."""
+        self.check_sizes()
+        for name in _SHARD_FILES:
+            entry = self.manifest["files"][name]
+            payload = (self.shard_dir / name).read_bytes()
+            if codec.digest(payload) != entry["digest"]:
+                raise StoreError(f"{self.shard_dir / name}: digest mismatch")
+
+
+class DatasetStore:
+    """An opened store directory (manifests parsed, sizes checked)."""
+
+    def __init__(self, store_dir: PathLike) -> None:
+        self.store_dir = pathlib.Path(store_dir)
+        manifest_path = self.store_dir / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise StoreError(f"{self.store_dir}: not a dataset store "
+                             f"(no {MANIFEST_NAME})")
+        self.manifest, _ = _load_json(manifest_path)
+        if self.manifest.get("format") != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"{self.store_dir}: unsupported store format "
+                f"{self.manifest.get('format')!r}"
+            )
+        self.record_count: int = self.manifest["record_count"]
+        self.countries: list[str] = list(self.manifest["countries"])
+        self.country_table: list[str] = list(self.manifest["country_table"])
+        self.organization_table: list[str] = list(
+            self.manifest["organization_table"]
+        )
+        known = set(self.country_table)
+        missing = [code for code in self.countries if code not in known]
+        if missing:
+            raise StoreError(
+                f"{self.store_dir}: countries absent from the country "
+                f"table: {missing}"
+            )
+        self._shards: dict[str, ShardReader] = {}
+        total = 0
+        for code in self.countries:
+            shard = self._open_shard(code)
+            self._shards[code] = shard
+            total += shard.record_count
+        if total != self.record_count:
+            raise StoreError(
+                f"{self.store_dir}: shard records sum to {total}, manifest "
+                f"says {self.record_count}"
+            )
+
+    def _open_shard(self, code: str) -> ShardReader:
+        entry = self.manifest["shards"].get(code)
+        if entry is None:
+            raise StoreError(f"{self.store_dir}: no shard entry for {code}")
+        shard_dir = self.store_dir / code
+        manifest, payload = _load_json(shard_dir / SHARD_MANIFEST_NAME)
+        if (
+            len(payload) != entry["manifest_bytes"]
+            or codec.digest(payload) != entry["manifest_digest"]
+        ):
+            raise StoreError(
+                f"{shard_dir / SHARD_MANIFEST_NAME}: digest mismatch against "
+                f"the root manifest"
+            )
+        if manifest.get("country") != code or \
+                manifest.get("records") != entry["records"]:
+            raise StoreError(
+                f"{shard_dir / SHARD_MANIFEST_NAME}: shard manifest "
+                f"contradicts the root manifest"
+            )
+        shard = ShardReader(self, code, shard_dir, manifest)
+        shard.check_sizes()
+        return shard
+
+    # ----------------------------------------------------------- access
+
+    def shard(self, code: str) -> ShardReader:
+        """The shard of one country; KeyError when unknown."""
+        return self._shards[code]
+
+    def shards(self) -> Iterator[ShardReader]:
+        """All shards, store (dataset) order."""
+        return iter(self._shards.values())
+
+    @property
+    def validation(self) -> ValidationStats:
+        return ValidationStats(**self.manifest["validation"])
+
+    @property
+    def faults(self) -> FaultReport:
+        return FaultReport.from_dict(self.manifest.get("faults", {}))
+
+    def verify(self) -> None:
+        """Full integrity pass: re-hash every column file of every shard."""
+        for shard in self.shards():
+            shard.verify()
+
+    # ---------------------------------------------------------- dataset
+
+    def dataset(self) -> GovernmentHostingDataset:
+        """A store-backed dataset: lazy country views + zero-copy index.
+
+        The returned dataset answers every metadata question (counts,
+        hostnames, landing pages, summaries) and every analysis --
+        including the full paper report -- without materializing a
+        single record; ``records`` / ``iter_records()`` stay available
+        and assemble lazily per country from the shard columns.
+        """
+        from repro.analysis.engine.index import _CACHE_ATTRIBUTE
+        from repro.store.index import StoreBackedIndex
+
+        countries: dict[str, CountryDataset] = {}
+        for code in self.countries:
+            shard = self._shards[code]
+            countries[code] = CountryDataset(
+                country=code,
+                landing_count=shard.landing_count,
+                records=shard.materialize_records,
+                discarded_url_count=shard.discarded_url_count,
+                unresolved_hostnames=list(shard.unresolved_hostnames),
+                depth_histogram=dict(shard.depth_histogram),
+                record_count=shard.record_count,
+                hostname_loader=shard.hostname_set,
+                total_bytes=shard.total_bytes,
+            )
+        dataset = GovernmentHostingDataset(
+            countries=countries,
+            validation=self.validation,
+            faults=self.faults,
+        )
+        setattr(dataset, _CACHE_ATTRIBUTE, StoreBackedIndex(self, dataset))
+        return dataset
+
+    def iter_records(self) -> Iterator[UrlRecord]:
+        """Stream every record, one shard resident at a time.
+
+        Unlike ``dataset().iter_records()`` this never caches the
+        materialized lists, so whole-dataset passes (exports, audits)
+        run in bounded memory no matter how many countries the store
+        holds.
+        """
+        for shard in self.shards():
+            yield from shard.materialize_records()
+
+
+def load_store_dataset(store_dir: PathLike) -> GovernmentHostingDataset:
+    """Open ``store_dir`` and return its store-backed dataset."""
+    return DatasetStore(store_dir).dataset()
+
+
+__all__ = [
+    "DatasetStore",
+    "ShardReader",
+    "is_store_path",
+    "load_store_dataset",
+]

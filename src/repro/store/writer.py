@@ -1,0 +1,218 @@
+"""Writing a dataset into the sharded columnar store layout.
+
+:func:`write_store` dumps the column buffers of a built
+:class:`~repro.analysis.engine.AnalysisIndex` -- the one canonical
+columnar form of a dataset -- plus the per-record url/hostname/via/
+depth/validation columns the index does not carry (they are needed only
+to reconstruct :class:`~repro.core.dataset.UrlRecord` objects for the
+compatibility view and for lossless jsonl round-trips).
+
+The write is the single full pass over the records; everything a later
+analysis run needs comes back out of the shards without record
+materialization.  Output is deterministic: converting the same dataset
+twice produces byte-identical stores (no timestamps, sorted manifest
+keys, insertion orders preserved).
+
+Writes are atomic at store granularity: the shards and manifests are
+assembled under a temporary sibling directory and renamed into place
+only when complete, so a crashed convert never leaves a half-written
+store behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import shutil
+from typing import Union
+
+from repro.analysis.engine.index import AnalysisIndex
+from repro.core.dataset import GovernmentHostingDataset
+from repro.store import codec
+from repro.store.format import (
+    COLUMN_FILES,
+    MANIFEST_NAME,
+    SHARD_MANIFEST_NAME,
+    STORE_FORMAT_VERSION,
+    STRTAB_FILES,
+    VALIDATION_CODE,
+    VIA_CODE,
+    StoreError,
+)
+
+logger = logging.getLogger(__name__)
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _write_file(directory: pathlib.Path, name: str, payload: bytes) -> dict:
+    (directory / name).write_bytes(payload)
+    return {"bytes": len(payload), "digest": codec.digest(payload)}
+
+
+def _shard_columns(index: AnalysisIndex, records, start: int, stop: int) -> dict:
+    """All column buffers of one shard, keyed by filename."""
+    cols = index._cols
+    buffers: dict[str, bytes] = {
+        "sizes.i64": codec.column_bytes(cols.sizes[start:stop], "i64"),
+        "addresses.i64": codec.column_bytes(cols.addresses[start:stop], "i64"),
+        "asns.i64": codec.column_bytes(cols.asns[start:stop], "i64"),
+        "category.u8": codec.column_bytes(cols.categories[start:stop], "u8"),
+        "gov.u8": codec.column_bytes(cols.gov[start:stop], "u8"),
+        "anycast.u8": codec.column_bytes(cols.anycast[start:stop], "u8"),
+        "registered.i32": codec.column_bytes(cols.registered[start:stop], "i32"),
+        "server.i32": codec.column_bytes(cols.server[start:stop], "i32"),
+        "organization.i32": codec.column_bytes(
+            cols.organizations[start:stop], "i32"
+        ),
+    }
+    if records:
+        (urls, hostnames, _, _, vias, depths, *_rest) = zip(*records)
+        validations = tuple(record.validation for record in records)
+    else:
+        urls = hostnames = vias = depths = validations = ()
+    buffers["via.u8"] = codec.column_bytes(
+        [VIA_CODE[via] for via in vias], "u8"
+    )
+    buffers["validation.u8"] = codec.column_bytes(
+        [VALIDATION_CODE[method] for method in validations], "u8"
+    )
+    buffers["depth.i64"] = codec.column_bytes(list(depths), "i64")
+    # Shard-local hostname interning, first-seen in record order.
+    hostname_ids: dict[str, int] = {}
+    hostname_table: list[str] = []
+    hid_column: list[int] = []
+    for hostname in hostnames:
+        hid = hostname_ids.get(hostname)
+        if hid is None:
+            hid = len(hostname_table)
+            hostname_ids[hostname] = hid
+            hostname_table.append(hostname)
+        hid_column.append(hid)
+    buffers["hostname.u32"] = codec.column_bytes(hid_column, "u32")
+    buffers["urls.idx"], buffers["urls.blob"] = codec.strtab_bytes(urls)
+    buffers["hostnames.idx"], buffers["hostnames.blob"] = codec.strtab_bytes(
+        hostname_table
+    )
+    return buffers
+
+
+def _write_shard(
+    shard_dir: pathlib.Path,
+    code: str,
+    country_dataset,
+    index: AnalysisIndex,
+    start: int,
+    stop: int,
+) -> bytes:
+    """Write one country's shard; returns the shard manifest bytes."""
+    shard_dir.mkdir(parents=True)
+    records = country_dataset.records
+    buffers = _shard_columns(index, records, start, stop)
+    files = {}
+    for name in list(COLUMN_FILES) + [n for pair in STRTAB_FILES for n in pair]:
+        entry = _write_file(shard_dir, name, buffers[name])
+        if name in COLUMN_FILES:
+            entry["kind"] = COLUMN_FILES[name]
+        files[name] = entry
+    manifest = {
+        "format": STORE_FORMAT_VERSION,
+        "country": code,
+        "records": stop - start,
+        "landing_count": country_dataset.landing_count,
+        "discarded_url_count": country_dataset.discarded_url_count,
+        "unresolved_hostnames": list(country_dataset.unresolved_hostnames),
+        # Ordered pairs, not an object: shard manifests are written with
+        # sorted keys, but jsonl round-trips must preserve the
+        # histogram's insertion order byte for byte.
+        "depth_histogram": [
+            [depth, count]
+            for depth, count in country_dataset.depth_histogram.items()
+        ],
+        "total_bytes": country_dataset.total_bytes,
+        "hostname_count": codec.strtab_length(buffers["hostnames.idx"]),
+        "files": files,
+    }
+    payload = (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode()
+    (shard_dir / SHARD_MANIFEST_NAME).write_bytes(payload)
+    return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreWriteResult:
+    """What :func:`write_store` produced."""
+
+    store_dir: pathlib.Path
+    record_count: int
+    shard_count: int
+
+
+def write_store(
+    dataset: GovernmentHostingDataset,
+    store_dir: PathLike,
+    *,
+    overwrite: bool = False,
+) -> StoreWriteResult:
+    """Write ``dataset`` as a sharded columnar store under ``store_dir``.
+
+    Builds (or reuses, via :meth:`AnalysisIndex.ensure`) the dataset's
+    analysis index and dumps its buffers per country span.  Refuses to
+    clobber an existing path unless ``overwrite`` is set.
+    """
+    store_dir = pathlib.Path(store_dir)
+    if store_dir.exists() and not overwrite:
+        raise StoreError(f"{store_dir}: already exists (pass overwrite=True)")
+    index = AnalysisIndex.ensure(dataset)
+    staging = store_dir.with_name(f"{store_dir.name}.tmp.{os.getpid()}")
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir(parents=True)
+    try:
+        shards = {}
+        for code, _country_id, start, stop in index._spans:
+            manifest_bytes = _write_shard(
+                staging / code, code, dataset.countries[code],
+                index, start, stop,
+            )
+            shards[code] = {
+                "records": stop - start,
+                "manifest_bytes": len(manifest_bytes),
+                "manifest_digest": codec.digest(manifest_bytes),
+            }
+        root = {
+            "format": STORE_FORMAT_VERSION,
+            "record_count": index.record_count,
+            "countries": [code for code, *_ in index._spans],
+            "country_table": list(index._countries.table),
+            "organization_table": list(index._organizations.table),
+            "validation": dataclasses.asdict(dataset.validation),
+            "shards": shards,
+        }
+        # Mirrors repro.io.save_dataset: the key only exists for faulted
+        # runs, so fault-free stores stay byte-identical across layers.
+        if dataset.faults.countries:
+            root["faults"] = dataset.faults.to_dict()
+        (staging / MANIFEST_NAME).write_bytes(
+            (json.dumps(root, sort_keys=True, indent=2) + "\n").encode()
+        )
+        if store_dir.exists():
+            shutil.rmtree(store_dir)
+        os.replace(staging, store_dir)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    logger.info(
+        "wrote %d records across %d shards to %s",
+        index.record_count, len(shards), store_dir,
+    )
+    return StoreWriteResult(
+        store_dir=store_dir,
+        record_count=index.record_count,
+        shard_count=len(shards),
+    )
+
+
+__all__ = ["StoreWriteResult", "write_store"]

@@ -333,3 +333,31 @@ def test_passing_index_directly_matches_dataset(dataset):
     assert registration.global_split(index) == \
         registration.global_split(dataset)
     assert render_paper_report(index) == render_paper_report(dataset)
+
+
+# ------------------------------------------------- store-backed index
+
+def _store_roundtrip(measured, tmp_path):
+    from repro.store import load_store_dataset, write_store
+
+    write_store(measured, tmp_path / "equiv.store")
+    return load_store_dataset(tmp_path / "equiv.store")
+
+
+def test_report_byte_identical_store_backed(dataset, tmp_path):
+    store_dataset = _store_roundtrip(dataset, tmp_path)
+    assert render_paper_report(store_dataset) == \
+        bl.baseline_render_paper_report(dataset)
+
+
+def test_report_byte_identical_store_backed_faulted(faulted_dataset,
+                                                    tmp_path):
+    store_dataset = _store_roundtrip(faulted_dataset, tmp_path)
+    assert render_paper_report(store_dataset) == \
+        bl.baseline_render_paper_report(faulted_dataset)
+
+
+def test_report_byte_identical_store_backed_empty(empty_dataset, tmp_path):
+    store_dataset = _store_roundtrip(empty_dataset, tmp_path)
+    assert render_paper_report(store_dataset) == \
+        bl.baseline_render_paper_report(empty_dataset)

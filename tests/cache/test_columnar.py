@@ -1,0 +1,145 @@
+"""Columnar bulk codec == pickle bulk, exactly."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.columnar import (
+    BULK_COLUMNAR,
+    BULK_PICKLE,
+    decode_bulk,
+    encode_bulk,
+)
+from repro.cache.store import ScanCache
+from repro.core.geolocation import ValidationMethod
+from repro.core.urlfilter import FilterVia
+from repro.exec.partials import HostAnnotation
+
+
+def _hosts():
+    return {
+        "www.gov.br": HostAnnotation(
+            address=123456, asn=64500, organization="Serpro",
+            registered_country="BR", gov_operated=True,
+            server_country="BR", anycast=False,
+            validation=ValidationMethod.ACTIVE_PROBING,
+        ),
+        "cdn.example": HostAnnotation(
+            address=789, asn=13335, organization="Cloudflare, Inc.",
+            registered_country="US", gov_operated=False,
+            server_country=None, anycast=True,
+            validation=ValidationMethod.MULTISTAGE,
+        ),
+    }
+
+
+def _urls():
+    return [
+        ("https://www.gov.br/", "www.gov.br", 1000, FilterVia.TLD, 0),
+        ("https://www.gov.br/a", "www.gov.br", 2048, FilterVia.DOMAIN, 1),
+        # A hostname absent from hosts must still round-trip.
+        ("https://stray.gov.br/", "stray.gov.br", 5, FilterVia.SAN, 2),
+    ]
+
+
+def test_roundtrip_exact():
+    hosts, urls = _hosts(), _urls()
+    decoded_hosts, decoded_urls = decode_bulk(encode_bulk(hosts, urls))
+    assert decoded_hosts == hosts
+    assert list(decoded_hosts) == list(hosts)  # key order preserved
+    assert decoded_urls == urls
+    for observed in decoded_urls:
+        assert isinstance(observed, tuple)
+        assert isinstance(observed[2], int) and isinstance(observed[4], int)
+
+
+def test_roundtrip_empty():
+    assert decode_bulk(encode_bulk({}, [])) == ({}, [])
+
+
+def test_encode_rejects_foreign_enums():
+    urls = [("https://x/", "x", 1, "not-a-via", 0)]
+    with pytest.raises(Exception):
+        encode_bulk({}, urls)
+
+
+def test_decode_rejects_truncation():
+    blob = encode_bulk(_hosts(), _urls())
+    with pytest.raises(ValueError):
+        decode_bulk(blob[:-3])
+
+
+def test_decode_rejects_inconsistent_counts():
+    blob = bytearray(encode_bulk(_hosts(), _urls()))
+    # Corrupt the meta section's host count.
+    meta_start = blob.find(b'{"countries"')
+    assert meta_start > 0
+    patched = blob.replace(b'"hosts": 2', b'"hosts": 1')
+    with pytest.raises(ValueError):
+        decode_bulk(bytes(patched))
+
+
+def _stored_entry(cache, partial):
+    cache.store("ab" * 16, partial, scan_s=0.5)
+    path = cache._entry_path("ab" * 16)
+    blob = path.read_bytes()
+    header = json.loads(blob[:blob.find(b"\n")])
+    return path, header
+
+
+def test_cache_stores_columnar_and_loads_equal(tmp_path, dataset):
+    from repro.exec.partials import CountryPartial
+
+    partial = CountryPartial(
+        country="BR", landing_count=1, discarded_url_count=0,
+        unresolved_hostnames=[], depth_histogram={0: 3},
+        hosts=_hosts(), urls=_urls(),
+    )
+    cache = ScanCache(tmp_path)
+    _, header = _stored_entry(cache, partial)
+    assert header["bulk"] == BULK_COLUMNAR
+    loaded = cache.load("ab" * 16, "BR")
+    assert loaded == partial
+    assert loaded.hosts == partial.hosts
+    assert loaded.urls == partial.urls
+
+
+def test_cache_falls_back_to_pickle(tmp_path):
+    from repro.exec.partials import CountryPartial
+
+    # A stringly via is outside the FilterVia code space (encode_bulk
+    # raises), but pickles fine -- the fallback must kick in.
+    partial = CountryPartial(
+        country="BR", landing_count=0, discarded_url_count=0,
+        unresolved_hostnames=[], depth_histogram={},
+        hosts={}, urls=[("https://x/", "x", 1, "not-a-via", 0)],
+    )
+    cache = ScanCache(tmp_path)
+    _, header = _stored_entry(cache, partial)
+    assert header["bulk"] == BULK_PICKLE
+    loaded = cache.load("ab" * 16, "BR")
+    assert len(loaded.urls) == 1
+
+
+def test_unknown_bulk_codec_evicts(tmp_path):
+    from repro.exec.partials import CountryPartial
+
+    partial = CountryPartial(
+        country="BR", landing_count=0, discarded_url_count=0,
+        unresolved_hostnames=[], depth_histogram={},
+        hosts=_hosts(), urls=_urls(),
+    )
+    cache = ScanCache(tmp_path)
+    path, header = _stored_entry(cache, partial)
+    blob = path.read_bytes()
+    payload = blob[blob.find(b"\n") + 1:]
+    import hashlib
+    header["bulk"] = "carrier-pigeon"
+    header["digest"] = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    path.write_bytes(json.dumps(header, sort_keys=True).encode() + b"\n"
+                     + payload)
+    assert cache.load("ab" * 16, "BR") is None
+    assert cache.stats.evicted == 1
+    assert not path.exists()

@@ -1,0 +1,28 @@
+"""Shared store fixtures: one store per shared world, built once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import DatasetStore, write_store
+
+
+@pytest.fixture(scope="session")
+def store_dir(tmp_path_factory, dataset):
+    """A store written from the shared session dataset."""
+    path = tmp_path_factory.mktemp("store") / "world.store"
+    write_store(dataset, path)
+    return path
+
+
+@pytest.fixture()
+def store(store_dir) -> DatasetStore:
+    """A fresh handle on the shared store (cheap: manifests only)."""
+    return DatasetStore(store_dir)
+
+
+@pytest.fixture(scope="session")
+def tiny_store_dir(tmp_path_factory, tiny_dataset):
+    path = tmp_path_factory.mktemp("store") / "tiny.store"
+    write_store(tiny_dataset, path)
+    return path

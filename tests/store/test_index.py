@@ -1,0 +1,165 @@
+"""Store-backed index == scan-built index, without records.
+
+The equivalence suite (tests/analysis/test_engine_equivalence.py) pins
+index-backed analyses to the record-loop baselines; this module pins the
+:class:`~repro.store.StoreBackedIndex` to the scan-built
+:class:`~repro.analysis.engine.AnalysisIndex` over the same dataset --
+same tables, same floats, same orderings -- and asserts the whole paper
+report renders without materializing a single record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crossborder,
+    diversification,
+    hosting,
+    providers,
+    registration,
+    resilience,
+)
+from repro.analysis.engine import ensure_index
+from repro.reporting.paper_report import render_paper_report
+from repro.store import load_store_dataset
+from repro.store.index import StoreBackedIndex, _ChunkedColumn
+
+
+@pytest.fixture(scope="module")
+def store_dataset(store_dir):
+    return load_store_dataset(store_dir)
+
+
+@pytest.fixture(scope="module")
+def store_index(store_dataset) -> StoreBackedIndex:
+    index = ensure_index(store_dataset)
+    assert isinstance(index, StoreBackedIndex)
+    return index
+
+
+@pytest.fixture(scope="module")
+def scan_index(dataset):
+    return ensure_index(dataset)
+
+
+def test_interners_match(store_index, scan_index):
+    assert store_index._countries.table == scan_index._countries.table
+    assert store_index._organizations.table == \
+        scan_index._organizations.table
+    assert store_index._spans == scan_index._spans
+
+
+def test_columns_match(store_index, scan_index):
+    for name in ("sizes", "addresses", "asns", "categories", "gov",
+                 "anycast", "countries", "registered", "server",
+                 "organizations"):
+        ours = getattr(store_index._cols, name)
+        reference = getattr(scan_index._cols, name)
+        assert len(ours) == len(reference)
+        assert np.array_equal(ours[0:len(ours)], np.asarray(reference)), name
+
+
+def test_span_slices_are_zero_copy(store_index):
+    for code, _country_id, start, stop in store_index._spans:
+        if stop == start:
+            continue
+        view = store_index._cols.sizes[start:stop]
+        # A span-aligned slice is the shard's own (possibly mmapped)
+        # array view, never a concatenated copy.
+        chunk = store_index._cols.sizes._chunk(
+            store_index._cols.sizes._locate(start)
+        )
+        assert view.base is chunk or view.base is chunk.base
+
+
+def test_summary_matches(store_index, scan_index, dataset):
+    assert store_index.summary() == scan_index.summary()
+    assert store_index.summary() == dataset.summarize()
+
+
+def test_aggregate_tables_match(store_index, scan_index):
+    assert store_index._category_table == scan_index._category_table
+    assert store_index._location_table == scan_index._location_table
+    assert store_index.organization_by_asn() == \
+        scan_index.organization_by_asn()
+    assert store_index.gov_asns() == scan_index.gov_asns()
+    assert store_index.asn_first_seen() == scan_index.asn_first_seen()
+
+
+def test_analyses_match(store_dataset, dataset):
+    assert hosting.global_breakdown(store_dataset) == \
+        hosting.global_breakdown(dataset)
+    assert hosting.regional_breakdown(store_dataset) == \
+        hosting.regional_breakdown(dataset)
+    assert registration.global_split(store_dataset) == \
+        registration.global_split(dataset)
+    assert crossborder.flows(store_dataset, "server") == \
+        crossborder.flows(dataset, "server")
+    assert providers.global_provider_footprints(store_dataset) == \
+        providers.global_provider_footprints(dataset)
+    assert diversification.country_network_hhi(store_dataset) == \
+        diversification.country_network_hhi(dataset)
+    assert resilience.single_points_of_failure(store_dataset) == \
+        resilience.single_points_of_failure(dataset)
+
+
+def test_full_report_matches_without_materializing(store_dir, dataset):
+    fresh = load_store_dataset(store_dir)
+    assert render_paper_report(fresh) == render_paper_report(dataset)
+    materialized = [cd.country for cd in fresh.countries.values()
+                    if cd.materialized]
+    assert materialized == []  # the whole report ran record-free
+
+
+def test_record_count_property(store_index, dataset):
+    assert store_index.record_count == sum(
+        cd.url_count for cd in dataset.countries.values()
+    )
+
+
+def test_lazy_records_still_work(store_dataset, dataset):
+    code = next(iter(dataset.countries))
+    lazy = store_dataset.countries[code]
+    assert not lazy.materialized
+    assert lazy.records == dataset.countries[code].records
+    assert lazy.materialized
+
+
+# --------------------------------------------------- chunked column unit
+
+def _column(chunks):
+    bounds, loaders, cursor = [], [], 0
+    for chunk in chunks:
+        data = np.asarray(chunk, dtype=np.int64)
+        bounds.append((cursor, cursor + len(data)))
+        loaders.append(lambda d=data: d)
+        cursor += len(data)
+    return _ChunkedColumn(bounds, loaders, cursor, np.int64)
+
+
+def test_chunked_column_slicing():
+    column = _column([[1, 2, 3], [4, 5], [6]])
+    assert len(column) == 6
+    assert column[0:3].tolist() == [1, 2, 3]
+    assert column[3:5].tolist() == [4, 5]
+    assert column[1:2].tolist() == [2]
+    assert column[0:6].tolist() == [1, 2, 3, 4, 5, 6]  # crosses chunks
+    assert column[2:4].tolist() == [3, 4]
+    assert column[4:4].tolist() == []
+    assert column[0:0].tolist() == []
+
+
+def test_chunked_column_int_indexing():
+    column = _column([[10, 11], [12]])
+    assert [column[i] for i in range(3)] == [10, 11, 12]
+    assert column[-1] == 12
+    with pytest.raises(IndexError):
+        column[3]
+
+
+def test_chunked_column_rejects_strided_slices():
+    column = _column([[1, 2, 3]])
+    with pytest.raises(ValueError):
+        column[0:3:2]

@@ -164,3 +164,70 @@ def test_quiet_flag_suppresses_info_logs(capsys):
     assert main(["-q", "run", "--seed", "5", "--scale", "0.05",
                  "--countries", "UY"]) == 0
     assert "pipeline run" not in capsys.readouterr().err
+
+
+# -------------------------------------------------------- columnar store
+
+def test_run_store_dir_writes_store(tmp_path, capsys):
+    store = tmp_path / "run.store"
+    code = main([
+        "run", "--seed", "5", "--scale", "0.03",
+        "--countries", "UY", "PY", "--store-dir", str(store),
+    ])
+    assert code == 0
+    assert "shards" in capsys.readouterr().out
+    from repro.store import is_store_path
+
+    assert is_store_path(store)
+
+
+def test_convert_roundtrip_and_reports_match(saved_dataset, tmp_path,
+                                             capsys):
+    store = tmp_path / "conv.store"
+    assert main(["convert", str(saved_dataset), str(store),
+                 "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "verified" in out
+
+    assert main(["report", str(store), "--section", "full"]) == 0
+    store_report = capsys.readouterr().out
+    assert main(["report", str(saved_dataset), "--section", "full"]) == 0
+    assert store_report == capsys.readouterr().out
+
+    back = tmp_path / "back.jsonl"
+    assert main(["convert", str(store), str(back)]) == 0
+    capsys.readouterr()
+    # The store wrote canonical (load->save) bytes.
+    from repro.io import load_dataset, save_dataset
+
+    canonical = tmp_path / "canonical.jsonl"
+    save_dataset(load_dataset(saved_dataset), canonical)
+    assert back.read_bytes() == canonical.read_bytes()
+
+
+def test_convert_refuses_existing_destination(saved_dataset, tmp_path,
+                                              capsys):
+    store = tmp_path / "exists.store"
+    assert main(["convert", str(saved_dataset), str(store)]) == 0
+    capsys.readouterr()
+    assert main(["convert", str(saved_dataset), str(store)]) == 1
+    assert "already exists" in capsys.readouterr().err
+    assert main(["convert", str(saved_dataset), str(store),
+                 "--overwrite"]) == 0
+
+
+def test_convert_missing_source_fails(tmp_path, capsys):
+    assert main(["convert", str(tmp_path / "nope.jsonl"),
+                 str(tmp_path / "out.store")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_report_summary_matches_between_backends(saved_dataset, tmp_path,
+                                                 capsys):
+    store = tmp_path / "sum.store"
+    assert main(["convert", str(saved_dataset), str(store)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(saved_dataset)]) == 0
+    jsonl_summary = capsys.readouterr().out
+    assert main(["report", str(store)]) == 0
+    assert capsys.readouterr().out == jsonl_summary

@@ -1,6 +1,8 @@
 """Tests for dataset serialization."""
 
+import csv
 import json
+import logging
 
 import pytest
 
@@ -104,6 +106,102 @@ def test_record_with_unknown_country_reports_line(tmp_path, dataset):
     path.write_text("\n".join(lines) + "\n")
     with pytest.raises(ValueError, match=r":3: .*'ZZ'.*countries map"):
         load_dataset(path)
+
+
+def test_faulted_run_header_roundtrip(tmp_path):
+    # A faulted run at real scale must round-trip its fault report
+    # through the header (the "faults" key only exists for such runs).
+    from repro import Pipeline, SyntheticWorld, WorldConfig
+
+    config = WorldConfig(seed=13, scale=0.02, countries=("BR", "US"),
+                         include_topsites=False, fault_rate=0.1)
+    faulted = Pipeline(SyntheticWorld.generate(config)).run(["BR", "US"])
+    assert faulted.faults.countries
+    path = tmp_path / "faulted.jsonl"
+    save_dataset(faulted, path)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert "faults" in header
+    loaded = load_dataset(path)
+    assert loaded.faults.to_dict() == faulted.faults.to_dict()
+
+
+def test_duplicate_country_key_in_header_rejected(tmp_path, tiny_dataset):
+    # json.loads silently keeps the last duplicate, dropping records;
+    # the loader must fail loudly instead.
+    path = tmp_path / "dupe.jsonl"
+    save_dataset(tiny_dataset, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    code, meta = next(iter(header["countries"].items()))
+    countries_json = json.dumps(header["countries"])
+    duplicated = countries_json[:-1] + ", " + json.dumps(code) + ": " + \
+        json.dumps(meta) + "}"
+    lines[0] = lines[0].replace(countries_json, duplicated)
+    assert json.dumps(code) in duplicated
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=rf":1: .*duplicate key '{code}'"):
+        load_dataset(path)
+
+
+@pytest.mark.parametrize("field,bogus", [
+    ("category", "no-such-category"),
+    ("via", "carrier-pigeon"),
+    ("validation", "vibes"),
+])
+def test_out_of_enum_value_reports_line(tmp_path, tiny_dataset, field, bogus):
+    path = tmp_path / "enum.jsonl"
+    save_dataset(tiny_dataset, path)
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[2])
+    record[field] = bogus
+    lines[2] = json.dumps(record)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=":3:"):
+        load_dataset(path)
+
+
+def test_large_file_warning(tmp_path, tiny_dataset, monkeypatch, caplog):
+    import repro.io as io_module
+
+    path = tmp_path / "large.jsonl"
+    total = save_dataset(tiny_dataset, path)
+    assert total > 3
+    monkeypatch.setattr(io_module, "LARGE_FILE_RECORDS", 3)
+    with caplog.at_level(logging.WARNING, logger="repro.io"):
+        load_dataset(path)
+    messages = [r.message for r in caplog.records
+                if r.name == "repro.io" and "convert" in r.message]
+    assert len(messages) == 1  # warned once, not per record
+    # Under the real threshold nothing warns.
+    monkeypatch.setattr(io_module, "LARGE_FILE_RECORDS", 1_000_000)
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.io"):
+        load_dataset(path)
+    assert not [r for r in caplog.records if r.name == "repro.io"]
+
+
+def test_export_csv_column_order_roundtrip(tmp_path, tiny_dataset):
+    # The csv.writer rows must line up with record_to_dict's header --
+    # parse the file back and rebuild the records through the dict path.
+    path = tmp_path / "ordered.csv"
+    written = export_csv(tiny_dataset, path)
+    with path.open(newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == written
+    originals = list(tiny_dataset.iter_records())
+    for row, original in zip(rows, originals):
+        expected = record_to_dict(original)
+        assert list(row) == list(expected)  # same column order
+        parsed = {
+            key: json.loads(value.lower()) if key in (
+                "size_bytes", "depth", "address", "asn",
+                "gov_operated", "anycast",
+            ) else value
+            for key, value in row.items()
+        }
+        if parsed["server_country"] == "":
+            parsed["server_country"] = None
+        assert record_from_dict(parsed) == original
 
 
 def test_export_csv_empty_dataset_keeps_header(tmp_path, dataset):
