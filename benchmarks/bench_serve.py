@@ -1,0 +1,146 @@
+"""Query-service throughput: closed-loop load against a warm service.
+
+N client threads (``REPRO_BENCH_SERVE_THREADS``, default 8) each issue
+``REPRO_BENCH_SERVE_ROUNDS`` (default 25) passes over a mixed query
+workload against one in-process :class:`~repro.serve.DatasetService`
+-- closed loop: every thread waits for its answer before sending the
+next query, so sustained RPS is what a saturated synchronous client
+pool actually gets, not an open-loop arrival-rate fiction.
+
+Archived as ``BENCH_serve.json`` (sustained RPS + p50/p95/p99 latency
+per the whole workload and per endpoint).  Gates:
+
+* every concurrent response is byte-identical to the serial pass over
+  the same service (the consistency guarantee under load);
+* the served ``full`` report fragment equals the batch
+  ``render_paper_report`` output byte-for-byte;
+* the service's own request counter agrees with the generator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
+
+from repro.reporting.paper_report import render_paper_report
+from repro.serve import DatasetService
+
+THREADS = int(os.environ.get("REPRO_BENCH_SERVE_THREADS", "8"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SERVE_ROUNDS", "25"))
+
+#: The throughput workload leans on the cheap aggregate queries (the
+#: realistic steady state); the expensive ``full`` report is checked
+#: for byte-equality separately rather than skewing the latency mix.
+WORKLOAD = [
+    ("summary", {}),
+    ("categories", {"country": "US"}),
+    ("categories", {"country": "DE", "weighting": "bytes"}),
+    ("crossborder", {"sources": "US,FR"}),
+    ("crossborder", {"basis": "registration", "sources": "BR"}),
+    ("providers", {"top": 10}),
+    ("report", {"section": "summary"}),
+    ("report", {"section": "providers"}),
+]
+
+
+def _canonical(result: dict) -> str:
+    return json.dumps(result, sort_keys=True)
+
+
+def _percentile(sorted_values: list, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[position]
+
+
+def _latency_summary(latencies_ms: list) -> dict:
+    ordered = sorted(latencies_ms)
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50), 4),
+        "p95_ms": round(_percentile(ordered, 0.95), 4),
+        "p99_ms": round(_percentile(ordered, 0.99), 4),
+        "max_ms": round(ordered[-1], 4) if ordered else 0.0,
+        "count": len(ordered),
+    }
+
+
+def test_serve_throughput(bench_dataset, report):
+    service = DatasetService(bench_dataset)
+
+    # Serial reference pass: the byte-identity baseline and the warmup
+    # (after this, every memoized table is hot -- steady state).
+    serial = [_canonical(service.query(endpoint, payload))
+              for endpoint, payload in WORKLOAD]
+    served_full = service.query("report", {"section": "full"})["text"]
+    assert served_full == render_paper_report(bench_dataset)
+    warmup_requests = len(WORKLOAD) + 1
+
+    barrier = threading.Barrier(THREADS)
+    mismatches: list = []
+
+    def client(worker_id: int):
+        latencies = [[] for _ in WORKLOAD]
+        barrier.wait()
+        for round_number in range(ROUNDS):
+            for offset in range(len(WORKLOAD)):
+                position = (worker_id + round_number + offset) \
+                    % len(WORKLOAD)
+                endpoint, payload = WORKLOAD[position]
+                start = time.perf_counter()
+                answer = _canonical(service.query(endpoint, payload))
+                latencies[position].append(
+                    (time.perf_counter() - start) * 1000.0
+                )
+                if answer != serial[position]:
+                    mismatches.append((worker_id, position))
+        return latencies
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        per_thread = list(pool.map(client, range(THREADS)))
+    duration_s = time.perf_counter() - started
+
+    assert not mismatches, \
+        f"concurrent responses diverged from serial: {mismatches[:5]}"
+
+    by_position = [
+        [ms for thread in per_thread for ms in thread[position]]
+        for position in range(len(WORKLOAD))
+    ]
+    all_latencies = [ms for position in by_position for ms in position]
+    total_requests = len(all_latencies)
+    assert total_requests == THREADS * ROUNDS * len(WORKLOAD)
+
+    snapshot = service.metrics_snapshot()
+    assert snapshot["counters"]["serve.requests"] == \
+        total_requests + warmup_requests
+
+    rps = total_requests / duration_s if duration_s else 0.0
+    payload = {
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "threads": THREADS,
+        "rounds": ROUNDS,
+        "requests": total_requests,
+        "duration_s": round(duration_s, 4),
+        "rps": round(rps, 2),
+        "latency": _latency_summary(all_latencies),
+        "endpoints": {
+            f"{endpoint}:{json.dumps(query, sort_keys=True)}":
+                _latency_summary(by_position[position])
+            for position, (endpoint, query) in enumerate(WORKLOAD)
+        },
+        "inflight_peak": snapshot["gauges"]["serve.inflight.peak"],
+        "identical_to_serial": True,
+    }
+    write_bench_json("serve", payload)
+    report("serve_throughput", json.dumps(payload, indent=2))
+
+    assert rps > 0
+    assert payload["latency"]["p99_ms"] >= payload["latency"]["p50_ms"]

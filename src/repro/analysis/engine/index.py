@@ -33,13 +33,24 @@ so the index cached on a dataset by :meth:`AnalysisIndex.ensure` never
 needs invalidation.  The per-record ``country`` field is assumed to
 match the ``CountryDataset`` key it lives under -- true for every
 dataset the pipeline or ``repro.io`` produces.
+
+Concurrency contract
+--------------------
+:meth:`AnalysisIndex.ensure` and every memoized aggregate table are
+safe to race from many threads (the query service serves one shared
+index to all clients): the dataset-level cache is built under a
+per-dataset lock, and table memoization double-checks under a
+per-index reentrant lock (``functools.cached_property`` stopped
+locking in Python 3.12).  At most one thread ever builds the index or
+a given table; losers of the race read the winner's memo, so results
+are reference-identical across threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from array import array
-from functools import cached_property
 from typing import Iterator, Optional, Union
 
 import numpy as np
@@ -55,6 +66,48 @@ _CATEGORY_CODE = {category: code for code, category in enumerate(CATEGORIES)}
 
 #: Attribute under which :meth:`AnalysisIndex.ensure` caches the index.
 _CACHE_ATTRIBUTE = "_analysis_index"
+
+#: Attribute under which :meth:`AnalysisIndex.ensure` parks the
+#: per-dataset build lock (created lazily under :data:`_ENSURE_GUARD`).
+_BUILD_LOCK_ATTRIBUTE = "_analysis_index_build_lock"
+
+#: Guards only the *creation* of per-dataset build locks -- never held
+#: while an index builds, so unrelated datasets build concurrently.
+_ENSURE_GUARD = threading.Lock()
+
+
+class locked_cached_property:
+    """``functools.cached_property`` with double-checked locking.
+
+    Python 3.12 removed ``cached_property``'s class-level lock, so two
+    threads touching an unmemoized table at once could each compute it
+    -- or, worse, interleave on tables that read other tables.  This
+    descriptor memoizes into the instance ``__dict__`` exactly like
+    ``cached_property`` (hits stay a plain dict read, no lock) but
+    computes under the instance's ``_memo_lock``.  The lock is
+    reentrant: tables may read other tables while building.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.attrname = func.__name__
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name) -> None:
+        self.attrname = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        cache = instance.__dict__
+        try:
+            return cache[self.attrname]
+        except KeyError:
+            pass
+        with instance._memo_lock:
+            if self.attrname not in cache:
+                cache[self.attrname] = self.func(instance)
+            return cache[self.attrname]
 
 
 class _Interner(dict):
@@ -115,6 +168,7 @@ class AnalysisIndex:
     def __init__(self, dataset: GovernmentHostingDataset) -> None:
         build_start = time.perf_counter()
         self._dataset = dataset
+        self._memo_lock = threading.RLock()
         self._size_col = array("q")
         self._addr_col = array("q")
         self._asn_col = array("q")
@@ -153,13 +207,28 @@ class AnalysisIndex:
         The built index is cached on the dataset instance, so every
         analysis function called with the same dataset shares one index
         (records are immutable once materialized -- no invalidation).
+
+        Concurrent first calls on the same dataset build exactly once:
+        the check-then-set runs under a per-dataset lock (itself
+        created under a tiny global guard), so racing threads block on
+        the one build instead of each scanning the records.  The hot
+        path -- an already-cached index -- stays a lock-free getattr.
         """
         if isinstance(source, cls):
             return source
         index = getattr(source, _CACHE_ATTRIBUTE, None)
-        if index is None:
-            index = cls.build(source)
-            setattr(source, _CACHE_ATTRIBUTE, index)
+        if index is not None:
+            return index
+        with _ENSURE_GUARD:
+            lock = getattr(source, _BUILD_LOCK_ATTRIBUTE, None)
+            if lock is None:
+                lock = threading.Lock()
+                setattr(source, _BUILD_LOCK_ATTRIBUTE, lock)
+        with lock:
+            index = getattr(source, _CACHE_ATTRIBUTE, None)
+            if index is None:
+                index = cls.build(source)
+                setattr(source, _CACHE_ATTRIBUTE, index)
         return index
 
     def _scan(self, dataset: GovernmentHostingDataset) -> None:
@@ -209,13 +278,13 @@ class AnalysisIndex:
             if stop > start:
                 yield code, country_id, start, stop
 
-    @cached_property
+    @locked_cached_property
     def _cols(self) -> _Columns:
         return _Columns(self)
 
     # -------------------------------------------------- category tables
 
-    @cached_property
+    @locked_cached_property
     def _category_table(self) -> dict[str, tuple[tuple[int, ...], tuple[int, ...]]]:
         cols = self._cols
         n_categories = len(CATEGORIES)
@@ -240,7 +309,7 @@ class AnalysisIndex:
         """
         return self._category_table
 
-    @cached_property
+    @locked_cached_property
     def _global_category_totals(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
         url_totals = [0] * len(CATEGORIES)
         byte_totals = [0] * len(CATEGORIES)
@@ -257,7 +326,7 @@ class AnalysisIndex:
 
     # -------------------------------------------------- location tables
 
-    @cached_property
+    @locked_cached_property
     def _location_table(self) -> dict[str, tuple[int, int, int, int]]:
         cols = self._cols
         table: dict[str, tuple[int, int, int, int]] = {}
@@ -296,8 +365,11 @@ class AnalysisIndex:
         key = "registration" if basis == "registration" else "server"
         table = self._crossborder_tables.get(key)
         if table is None:
-            table = self._build_crossborder(key)
-            self._crossborder_tables[key] = table
+            with self._memo_lock:
+                table = self._crossborder_tables.get(key)
+                if table is None:
+                    table = self._build_crossborder(key)
+                    self._crossborder_tables[key] = table
         return table
 
     def _build_crossborder(self, basis: str) -> dict[tuple[str, str], tuple[int, int]]:
@@ -326,7 +398,7 @@ class AnalysisIndex:
 
     # --------------------------------------------------- provider tables
 
-    @cached_property
+    @locked_cached_property
     def _asn_info(self) -> tuple[
         dict[str, dict[int, tuple[int, int]]],  # per-country ASN stats
         dict[int, str],                          # first-seen organization
@@ -394,7 +466,7 @@ class AnalysisIndex:
         """ASNs carrying at least one government-operated record."""
         return self._asn_info[4]
 
-    @cached_property
+    @locked_cached_property
     def _country_totals(self) -> tuple[dict[str, int], dict[str, int]]:
         url_totals: dict[str, int] = {}
         byte_totals: dict[str, int] = {}
@@ -413,7 +485,7 @@ class AnalysisIndex:
 
     # ------------------------------------------------- regression inputs
 
-    @cached_property
+    @locked_cached_property
     def _address_location_table(self) -> dict[str, tuple[int, int]]:
         cols = self._cols
         table: dict[str, tuple[int, int]] = {}
@@ -441,7 +513,7 @@ class AnalysisIndex:
 
     # -------------------------------------------------- hostname tables
 
-    @cached_property
+    @locked_cached_property
     def _domains_by_country(self) -> dict[str, set[str]]:
         return {
             code: {
@@ -457,7 +529,7 @@ class AnalysisIndex:
 
     # ------------------------------------------------------ summary
 
-    @cached_property
+    @locked_cached_property
     def _summary(self) -> DatasetSummary:
         cols = self._cols
         dataset = self._dataset
@@ -507,5 +579,6 @@ __all__ = [
     "AnalysisIndex",
     "DatasetOrIndex",
     "ensure_index",
+    "locked_cached_property",
     "underlying_dataset",
 ]

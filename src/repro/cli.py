@@ -9,6 +9,7 @@
     repro-gov report dataset.jsonl                   # analyses over a saved run
     repro-gov report world.store --section full      # same, zero-copy store
     repro-gov convert dataset.jsonl world.store      # jsonl <-> store
+    repro-gov serve --store-dir world.store --port 8321  # HTTP query service
     repro-gov inspect --hostname www.gub.uy          # one hostname end to end
 
 Every command is deterministic given ``--seed``; the observability
@@ -27,10 +28,8 @@ from typing import Optional, Sequence
 from repro import Pipeline, SyntheticWorld, WorldConfig
 from repro.exec import EXECUTOR_NAMES, make_executor
 from repro.faults import FAULT_PROFILE_NAMES
+from repro.reporting.sections import SECTION_NAMES
 from repro.reporting.tables import render_table
-
-_SECTIONS = ("summary", "global", "regional", "domestic", "providers",
-             "diversification", "full")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(a jsonl file or a columnar store directory)"
     )
     report.add_argument("dataset", metavar="PATH")
-    report.add_argument("--section", choices=_SECTIONS, default="summary")
+    report.add_argument("--section", choices=SECTION_NAMES, default="summary")
 
     convert = subparsers.add_parser(
         "convert", help="convert between the jsonl export and the "
@@ -123,6 +122,22 @@ def _build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--verify", action="store_true",
                          help="re-hash every column of the store side "
                               "against its manifest digests")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP query service over a saved dataset"
+    )
+    dataset_source = serve.add_mutually_exclusive_group(required=True)
+    dataset_source.add_argument("--dataset", metavar="PATH",
+                                help="a jsonl dataset file to serve")
+    dataset_source.add_argument("--store-dir", metavar="PATH",
+                                help="a columnar store directory to serve "
+                                     "(zero-copy, preferred at scale)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port; 0 picks a free one (default: 8321)")
+    serve.add_argument("--workers", type=int, default=8, metavar="N",
+                       help="max concurrent request threads (default: 8)")
 
     inspect = subparsers.add_parser(
         "inspect", help="trace one hostname through the pipeline"
@@ -249,78 +264,62 @@ def _chrome_trace_path(trace_out: str) -> str:
     return trace_out + ".chrome.json"
 
 
+def _load_any_dataset(path: str):
+    """Open a jsonl export or store directory for a read-only command.
+
+    Returns a ``repro.serve.loader.LoadedDataset`` (close it when
+    done), or ``None`` after printing a one-line error -- the same
+    ``FileNotFoundError``/``StoreError``/``ValueError`` mapping
+    ``repro-gov convert`` uses, so every command that reads a dataset
+    fails with exit 1 and a message instead of a traceback.
+    """
+    from repro.serve.loader import open_any_dataset
+    from repro.store import StoreError
+
+    try:
+        return open_any_dataset(path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.store import is_store_path
+    from repro.reporting.sections import render_report_section
 
-    if is_store_path(args.dataset):
-        from repro.store import load_store_dataset
+    loaded = _load_any_dataset(args.dataset)
+    if loaded is None:
+        return 1
+    with loaded:
+        print(render_report_section(loaded.dataset, args.section))
+    return 0
 
-        dataset = load_store_dataset(args.dataset)
-    else:
-        from repro.io import load_dataset
 
-        dataset = load_dataset(args.dataset)
-    if args.section == "summary":
-        from repro.analysis.engine import ensure_index
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QUERY_ENDPOINTS, DatasetService, create_server
 
-        # Via the index, not dataset.summarize(): over a store this
-        # streams the mmapped columns instead of materializing records.
-        summary = ensure_index(dataset).summary()
-        rows = [[field, f"{getattr(summary, field):,}"]
-                for field in ("landing_urls", "internal_urls",
-                              "total_unique_urls", "unique_hostnames", "ases",
-                              "government_ases", "unique_addresses",
-                              "anycast_addresses", "countries_with_servers")]
-        print(render_table(["quantity", "value"], rows, title="Dataset summary"))
-    elif args.section == "global":
-        from repro.analysis import global_breakdown
-        from repro.categories import CATEGORY_ORDER
-
-        breakdown = global_breakdown(dataset)
-        rows = [[str(c), f"{breakdown['urls'][c]:.2f}",
-                 f"{breakdown['bytes'][c]:.2f}"] for c in CATEGORY_ORDER]
-        print(render_table(["category", "URLs", "bytes"], rows,
-                           title="Global hosting mix (Figure 2)"))
-    elif args.section == "regional":
-        from repro.analysis import regional_breakdown
-        from repro.categories import CATEGORY_ORDER
-
-        regional = regional_breakdown(dataset)
-        rows = [
-            [region.name] + [f"{mix[c]:.2f}" for c in CATEGORY_ORDER]
-            for region, mix in sorted(regional.items(), key=lambda kv: kv[0].name)
-        ]
-        print(render_table(
-            ["region"] + [str(c) for c in CATEGORY_ORDER], rows,
-            title="Regional hosting mixes (Figure 4)",
-        ))
-    elif args.section == "domestic":
-        from repro.analysis import global_split
-
-        splits = global_split(dataset)
-        rows = [[view, f"{split.domestic:.2f}", f"{split.international:.2f}"]
-                for view, split in splits.items()]
-        print(render_table(["view", "domestic", "international"], rows,
-                           title="Domestic vs international (Figure 6)"))
-    elif args.section == "providers":
-        from repro.analysis import global_provider_footprints
-
-        rows = [[fp.name, f"AS{fp.asn}", fp.country_count]
-                for fp in global_provider_footprints(dataset)[:15]]
-        print(render_table(["provider", "asn", "countries"], rows,
-                           title="Global providers (Figure 10)"))
-    elif args.section == "full":
-        from repro.reporting.paper_report import render_paper_report
-
-        print(render_paper_report(dataset))
-    elif args.section == "diversification":
-        from repro.analysis import single_network_dependence
-
-        rows = [[str(category), f"{above}/{total}"]
-                for category, (above, total)
-                in single_network_dependence(dataset).items()]
-        print(render_table(["dominant source", ">50% on one network"], rows,
-                           title="Diversification (Figure 11)"))
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    loaded = _load_any_dataset(args.dataset or args.store_dir)
+    if loaded is None:
+        return 1
+    service = DatasetService(loaded)
+    server = create_server(service, host=args.host, port=args.port,
+                           workers=args.workers)
+    host, port = server.server_address[:2]
+    print(f"serving {loaded.kind} dataset {loaded.path} "
+          f"on http://{host}:{port} ({args.workers} workers)")
+    print("endpoints: /healthz /metrics "
+          + " ".join(f"/v1/{name}" for name in sorted(QUERY_ENDPOINTS)))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
     return 0
 
 
@@ -339,23 +338,24 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     dst = pathlib.Path(args.dst)
     try:
         if is_store_path(src):
-            store = DatasetStore(src)
-            if args.verify:
-                store.verify()
-                print(f"verified {store.record_count:,} records over "
-                      f"{len(store.countries)} shards in {src}")
-            if dst.exists() and not args.overwrite:
-                print(f"error: {dst} exists (pass --overwrite)",
-                      file=sys.stderr)
-                return 2
-            written = store_to_jsonl(store, dst)
+            with DatasetStore(src) as store:
+                if args.verify:
+                    store.verify()
+                    print(f"verified {store.record_count:,} records over "
+                          f"{len(store.countries)} shards in {src}")
+                if dst.exists() and not args.overwrite:
+                    print(f"error: {dst} exists (pass --overwrite)",
+                          file=sys.stderr)
+                    return 2
+                written = store_to_jsonl(store, dst)
             print(f"wrote {written:,} records to {dst}")
         else:
             result = jsonl_to_store(src, dst, overwrite=args.overwrite)
             print(f"wrote {result.record_count:,} records over "
                   f"{result.shard_count} shards to {dst}")
             if args.verify:
-                DatasetStore(dst).verify()
+                with DatasetStore(dst) as store:
+                    store.verify()
                 print(f"verified {dst} against its manifest digests")
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -440,6 +440,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "convert":
         return _cmd_convert(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     raise AssertionError(f"unhandled command {args.command!r}")

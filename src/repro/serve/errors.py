@@ -1,0 +1,42 @@
+"""Structured errors of the query service.
+
+Every client-caused failure is a :class:`RequestError`: a stable
+machine-readable ``code``, an optional offending ``field``, a human
+message and the HTTP status the gateway should answer with.  The
+gateway serializes it as ``{"error": {...}}`` so clients can branch on
+``code``/``field`` instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServeError(Exception):
+    """Base class of everything the serve layer raises on purpose."""
+
+
+class RequestError(ServeError):
+    """A request the service refuses, with a structured payload."""
+
+    def __init__(self, code: str, message: str, *,
+                 field: Optional[str] = None, status: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+        self.status = status
+
+    def to_dict(self) -> dict:
+        """The ``error`` object of the gateway's JSON error body."""
+        payload: dict = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            payload["field"] = self.field
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RequestError(code={self.code!r}, field={self.field!r}, "
+                f"status={self.status})")
+
+
+__all__ = ["RequestError", "ServeError"]

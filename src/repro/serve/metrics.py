@@ -1,0 +1,85 @@
+"""Thread-safe per-query metrics over a :mod:`repro.obs` registry.
+
+:class:`~repro.obs.MetricsRegistry` mutators are plain dict operations
+with no locking -- fine for the pipeline, where each shard owns its
+registry and merging happens after the fact, but the serve layer has
+many request threads hitting one registry.  :class:`ServiceMetrics`
+wraps one registry behind a lock and exposes a single
+:meth:`ServiceMetrics.track` context manager that records everything a
+query produces:
+
+* ``serve.requests`` and ``serve.requests.<endpoint>`` counters;
+* ``serve.errors`` and ``serve.errors.<code>`` counters on failure;
+* ``serve.latency_ms.<endpoint>`` histograms, bucketed to power-of-two
+  millisecond upper bounds (1, 2, 4, ... ms) so they merge as monoids
+  like every other histogram in the codebase;
+* ``serve.inflight.peak`` gauge -- the high-water mark of concurrent
+  in-flight queries (gauges merge by max, so a peak is the only
+  faithful choice).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+from repro.obs import MetricsRegistry
+
+
+def latency_bucket(milliseconds: float) -> int:
+    """Power-of-two upper bound in ms: 0.7ms -> 1, 3ms -> 4, 9ms -> 16."""
+    bucket = 1
+    while bucket < milliseconds:
+        bucket *= 2
+    return bucket
+
+
+class ServiceMetrics:
+    """Lock-protected metrics shared by every request thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._registry = MetricsRegistry()
+        self._inflight = 0
+
+    @contextlib.contextmanager
+    def track(self, endpoint: str):
+        """Record one query: count, latency bucket, errors, inflight peak.
+
+        Exceptions propagate after being counted, so the gateway still
+        maps them to responses.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            self._inflight += 1
+            self._registry.gauge("serve.inflight.peak", self._inflight)
+        try:
+            yield
+        except Exception as exc:
+            code = getattr(exc, "code", exc.__class__.__name__)
+            with self._lock:
+                self._registry.count("serve.errors")
+                self._registry.count(f"serve.errors.{code}")
+            raise
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            with self._lock:
+                self._inflight -= 1
+                self._registry.count("serve.requests")
+                self._registry.count(f"serve.requests.{endpoint}")
+                self._registry.observe(f"serve.latency_ms.{endpoint}",
+                                       latency_bucket(elapsed_ms))
+
+    def inflight(self) -> int:
+        """Queries currently executing (for ``/healthz``)."""
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-ready copy (the ``/metrics`` body)."""
+        with self._lock:
+            return self._registry.to_dict()
+
+
+__all__ = ["ServiceMetrics", "latency_bucket"]

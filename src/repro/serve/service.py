@@ -1,0 +1,225 @@
+"""The query engine behind the gateway.
+
+:class:`DatasetService` loads a dataset once (or adopts an
+already-loaded one), forces the analysis index warm, and answers typed
+queries from any number of threads.  Every answer is computed by the
+same :mod:`repro.analysis` functions and :mod:`repro.reporting`
+renderers as the batch path, which is what makes service responses
+byte-identical to ``repro-gov report`` output -- concurrency safety
+comes from the index's locked memoization (see the engine's
+concurrency contract), not from copies.
+
+Validation layering: the schemas reject structurally bad requests
+before the service sees them; the service adds the semantic checks
+that need the dataset (is this country in the sample?) and raises the
+same :class:`~repro.serve.errors.RequestError` with ``status=404``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Mapping, Optional, Union
+
+from repro.analysis.engine import ensure_index
+from repro.core.dataset import GovernmentHostingDataset
+from repro.serve.errors import RequestError
+from repro.serve.loader import LoadedDataset, open_any_dataset
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.schemas import (
+    QUERY_ENDPOINTS,
+    CategoryMixRequest,
+    CategoryMixResponse,
+    CrossborderRequest,
+    CrossborderResponse,
+    FlowEntry,
+    ProviderEntry,
+    ProvidersRequest,
+    ProvidersResponse,
+    ReportRequest,
+    ReportResponse,
+    SummaryRequest,
+    SummaryResponse,
+)
+
+
+class DatasetService:
+    """Thread-safe queries over one warm dataset.
+
+    Construct from an in-memory dataset, a :class:`LoadedDataset`, or
+    via :meth:`open` from a path.  The constructor eagerly builds the
+    analysis index and its summary table, so the first client request
+    never pays the build cost and concurrent first requests cannot
+    race an unbuilt index.
+    """
+
+    def __init__(self, source: Union[GovernmentHostingDataset,
+                                     LoadedDataset], *,
+                 metrics: Optional[ServiceMetrics] = None) -> None:
+        if isinstance(source, LoadedDataset):
+            self._loaded: Optional[LoadedDataset] = source
+            dataset = source.dataset
+        else:
+            self._loaded = None
+            dataset = source
+        self._dataset = dataset
+        self._index = ensure_index(dataset)
+        self._index.summary()  # warm the hot table up front
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path, *, metrics: Optional[ServiceMetrics] = None
+             ) -> "DatasetService":
+        """Load a jsonl export or store directory and serve it."""
+        return cls(open_any_dataset(path), metrics=metrics)
+
+    # ----------------------------------------------------------- queries
+
+    def query(self, endpoint: str, payload: Mapping) -> dict:
+        """Validate ``payload`` against ``endpoint``'s schema and answer.
+
+        The single entry point used by the gateway and the benchmark
+        harness; raises :class:`RequestError` for anything the client
+        got wrong.
+        """
+        try:
+            schema = QUERY_ENDPOINTS[endpoint]
+        except KeyError:
+            raise RequestError(
+                "unknown-endpoint",
+                f"unknown endpoint {endpoint!r}; expected one of "
+                f"{', '.join(sorted(QUERY_ENDPOINTS))}",
+                status=404,
+            ) from None
+        if not isinstance(payload, Mapping):
+            raise RequestError("bad-type", "request body must be an object")
+        with self.metrics.track(endpoint):
+            request = schema.from_mapping(payload)
+            return self._dispatch(request).to_dict()
+
+    def _dispatch(self, request):
+        if isinstance(request, SummaryRequest):
+            return self.summary(request)
+        if isinstance(request, CategoryMixRequest):
+            return self.category_mix(request)
+        if isinstance(request, CrossborderRequest):
+            return self.crossborder(request)
+        if isinstance(request, ProvidersRequest):
+            return self.providers(request)
+        if isinstance(request, ReportRequest):
+            return self.report(request)
+        raise AssertionError(f"unhandled request {request!r}")
+
+    def summary(self, request: SummaryRequest) -> SummaryResponse:
+        return SummaryResponse(
+            summary=dataclasses.asdict(self._index.summary())
+        )
+
+    def category_mix(self, request: CategoryMixRequest
+                     ) -> CategoryMixResponse:
+        from repro.analysis.hosting import fractions_of_counts
+
+        country = self._known_country(request.country)
+        counts = self._index.category_counts().get(country)
+        if counts is None:
+            # In the sample but produced no records (fully faulted):
+            # an all-zero mix, same as fractions over empty tallies.
+            from repro.categories import CATEGORY_ORDER
+
+            counts = ((0,) * len(CATEGORY_ORDER),) * 2
+        url_counts, byte_sums = counts
+        tallies = byte_sums if request.weighting == "bytes" else url_counts
+        mix = fractions_of_counts(tallies)
+        return CategoryMixResponse(
+            country=country,
+            weighting=request.weighting,
+            mix={str(category): fraction
+                 for category, fraction in mix.items()},
+            url_count=int(sum(url_counts)),
+            byte_count=int(sum(byte_sums)),
+        )
+
+    def crossborder(self, request: CrossborderRequest
+                    ) -> CrossborderResponse:
+        from repro.analysis.crossborder import flows
+
+        sources = tuple(self._known_country(code, field="sources")
+                        for code in request.sources)
+        wanted = set(sources)
+        entries = tuple(
+            FlowEntry(source=flow.source, destination=flow.destination,
+                      url_count=flow.url_count, byte_count=flow.byte_count)
+            for flow in flows(self._index, request.basis)
+            if not wanted or flow.source in wanted
+        )
+        return CrossborderResponse(basis=request.basis, sources=sources,
+                                   flows=entries)
+
+    def providers(self, request: ProvidersRequest) -> ProvidersResponse:
+        from repro.analysis.providers import global_provider_footprints
+
+        entries = tuple(
+            ProviderEntry(asn=fp.asn, name=fp.name,
+                          country_count=fp.country_count,
+                          countries=fp.countries)
+            for fp in global_provider_footprints(self._index)[:request.top]
+        )
+        return ProvidersResponse(top=request.top, providers=entries)
+
+    def report(self, request: ReportRequest) -> ReportResponse:
+        from repro.reporting import render_report_section
+
+        return ReportResponse(
+            section=request.section,
+            text=render_report_section(self._index, request.section),
+        )
+
+    # ------------------------------------------------------------ health
+
+    def healthz(self) -> dict:
+        """Liveness payload: dataset identity plus load."""
+        payload = {
+            "status": "ok",
+            "countries": len(self._dataset.countries),
+            "records": self._index.record_count,
+            "inflight": self.metrics.inflight(),
+        }
+        if self._loaded is not None:
+            payload["dataset"] = str(self._loaded.path)
+            payload["kind"] = self._loaded.kind
+        return payload
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        """Release the backing store, if the service owns one."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._loaded is not None:
+                self._loaded.close()
+
+    def __enter__(self) -> "DatasetService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- helpers
+
+    def _known_country(self, code: str, *, field: str = "country") -> str:
+        normalized = code.upper()
+        if normalized not in self._dataset.countries:
+            raise RequestError(
+                "unknown-country",
+                f"country {code!r} is not in this dataset",
+                field=field, status=404,
+            )
+        return normalized
+
+
+__all__ = ["DatasetService"]

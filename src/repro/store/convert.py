@@ -55,17 +55,22 @@ def store_to_jsonl(
     """
     from repro.io import dataset_header, record_to_dict
 
-    if not isinstance(store, DatasetStore):
+    owns_store = not isinstance(store, DatasetStore)
+    if owns_store:
         store = DatasetStore(store)
-    jsonl_path = pathlib.Path(jsonl_path)
-    header = dataset_header(store.dataset())
-    count = 0
-    with jsonl_path.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(header) + "\n")
-        for shard in store.shards():
-            for record in shard.materialize_records():
-                handle.write(json.dumps(record_to_dict(record)) + "\n")
-                count += 1
+    try:
+        jsonl_path = pathlib.Path(jsonl_path)
+        header = dataset_header(store.dataset())
+        count = 0
+        with jsonl_path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for shard in store.shards():
+                for record in shard.materialize_records():
+                    handle.write(json.dumps(record_to_dict(record)) + "\n")
+                    count += 1
+    finally:
+        if owns_store:
+            store.close()
     if count != store.record_count:
         raise StoreError(
             f"{store.store_dir}: streamed {count} records, manifest "

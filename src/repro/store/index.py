@@ -20,14 +20,18 @@ whole-dataset pass keeps at most one shard's uniques resident.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_right
-from functools import cached_property
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.analysis.engine.index import AnalysisIndex, _Interner
+from repro.analysis.engine.index import (
+    AnalysisIndex,
+    _Interner,
+    locked_cached_property,
+)
 from repro.core.dataset import DatasetSummary, GovernmentHostingDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -180,6 +184,7 @@ class StoreBackedIndex(AnalysisIndex):
         build_start = time.perf_counter()
         self._dataset = dataset
         self._store = store
+        self._memo_lock = threading.RLock()
         self._countries = _restore_interner(
             store.country_table, excluded_id=True
         )
@@ -212,7 +217,7 @@ class StoreBackedIndex(AnalysisIndex):
     # The only base-class computations over *whole* columns are the
     # Table 3 uniques; stream them per shard so no concatenated column
     # ever materializes.  Unique-of-union-of-uniques is exact.
-    @cached_property
+    @locked_cached_property
     def _summary(self) -> DatasetSummary:
         cols = self._cols
         dataset = self._dataset

@@ -22,12 +22,25 @@ views defer record assembly to their shard and whose analysis index is
 the store-backed zero-copy one, pre-attached under the same cache
 attribute :meth:`AnalysisIndex.ensure` uses -- so every existing
 analysis entry point transparently runs off the mmapped columns.
+
+Resource lifetime
+-----------------
+Every mapped column holds an open file descriptor and a live mapping
+until explicitly released (``numpy.memmap`` keeps the file open for the
+array's lifetime), so a long-running process that opens stores must
+close them: :meth:`DatasetStore.close` -- or the context-manager form
+``with DatasetStore(path) as store:`` -- cascades to every shard and
+releases all memoized mappings.  Closing is not final: a later
+:meth:`ShardReader.column` call simply remaps on demand, so ``close``
+doubles as a "drop all mappings" pressure valve.  Column memoization is
+lock-guarded, making concurrent reads from a shared store safe.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import threading
 from typing import Iterator, Optional, Union
 
 import numpy as np
@@ -60,6 +73,23 @@ def is_store_path(path: PathLike) -> bool:
     """Whether ``path`` looks like a store directory (has a root manifest)."""
     path = pathlib.Path(path)
     return path.is_dir() and (path / MANIFEST_NAME).is_file()
+
+
+def _close_mapping(mapped) -> None:
+    """Close one ``mmap`` object, tolerating still-exported buffers.
+
+    ``mmap.close`` refuses to pull pages out from under a live buffer
+    export (it raises ``BufferError``); in that case the mapping -- and
+    its file descriptor -- is released when the last view is
+    garbage-collected instead, so swallowing the error trades promptness,
+    never correctness.
+    """
+    if mapped is None:
+        return
+    try:
+        mapped.close()
+    except BufferError:
+        pass
 
 
 def _load_json(path: pathlib.Path) -> tuple[dict, bytes]:
@@ -95,6 +125,7 @@ class ShardReader:
             int(depth): count for depth, count in manifest["depth_histogram"]
         }
         self.total_bytes: int = manifest["total_bytes"]
+        self._lock = threading.Lock()
         self._columns: dict[str, np.ndarray] = {}
         self._hostname_table: Optional[list[str]] = None
 
@@ -114,17 +145,51 @@ class ShardReader:
         return mapped
 
     def column(self, name: str) -> np.ndarray:
-        """Zero-copy view of one typed column (memoized per shard)."""
+        """Zero-copy view of one typed column (memoized per shard).
+
+        Memoization double-checks under the shard lock so concurrent
+        first readers share one mapping instead of each mapping the
+        file (and leaking the losers' descriptors until GC).
+        """
         view = self._columns.get(name)
         if view is None:
-            view = self._map_file(name, COLUMN_FILES.get(name, "u8"))
-            self._columns[name] = view
+            with self._lock:
+                view = self._columns.get(name)
+                if view is None:
+                    view = self._map_file(name, COLUMN_FILES.get(name, "u8"))
+                    self._columns[name] = view
         return view
 
     def _strtab(self, idx_name: str, blob_name: str) -> list[str]:
         idx = self._map_file(idx_name, "i64")
         blob = self._map_file(blob_name, "u8")
-        return codec.strtab_decode(idx, blob)
+        mappings = (getattr(idx, "_mmap", None), getattr(blob, "_mmap", None))
+        try:
+            return codec.strtab_decode(idx, blob)
+        finally:
+            # Drop the transient views before closing so the mappings
+            # (and their descriptors) release now, not at the next GC.
+            del idx, blob
+            for mapped in mappings:
+                _close_mapping(mapped)
+
+    def close(self) -> None:
+        """Release every memoized mapping (descriptors included).
+
+        Safe to call any number of times and while other threads read:
+        a reader that raced past the memo keeps a valid view (its
+        mapping is then released when the view is garbage-collected --
+        ``mmap.close`` refuses to pull pages out from under an exported
+        buffer), and later :meth:`column` calls simply remap.
+        """
+        with self._lock:
+            views = list(self._columns.values())
+            self._columns.clear()
+            self._hostname_table = None
+        maps = [getattr(view, "_mmap", None) for view in views]
+        views.clear()  # drop the array refs so the buffer exports die
+        for mapped in maps:
+            _close_mapping(mapped)
 
     # --------------------------------------------------------- metadata
 
@@ -132,8 +197,12 @@ class ShardReader:
         """The shard's interned hostnames, first-seen order (memoized)."""
         table = self._hostname_table
         if table is None:
-            table = self._strtab("hostnames.idx", "hostnames.blob")
-            self._hostname_table = table
+            with self._lock:
+                if self._hostname_table is None:
+                    self._hostname_table = self._strtab(
+                        "hostnames.idx", "hostnames.blob"
+                    )
+                table = self._hostname_table
         return table
 
     def hostname_set(self) -> set[str]:
@@ -298,6 +367,26 @@ class DatasetStore:
         for shard in self.shards():
             shard.verify()
 
+    # --------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        """Release every shard's mappings and file descriptors.
+
+        Idempotent, and not final: the store object stays usable --
+        any later column access remaps on demand.  Long-running
+        processes (the query service, repeated ``convert`` calls in
+        one interpreter) must close stores they are done with, or every
+        mapped column keeps a descriptor open for the process lifetime.
+        """
+        for shard in self._shards.values():
+            shard.close()
+
+    def __enter__(self) -> "DatasetStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ---------------------------------------------------------- dataset
 
     def dataset(self) -> GovernmentHostingDataset:
@@ -347,7 +436,12 @@ class DatasetStore:
 
 
 def load_store_dataset(store_dir: PathLike) -> GovernmentHostingDataset:
-    """Open ``store_dir`` and return its store-backed dataset."""
+    """Open ``store_dir`` and return its store-backed dataset.
+
+    The opened store stays reachable as ``dataset``'s index backing; a
+    caller that owns the lifetime (the query service, the CLI) should
+    open the :class:`DatasetStore` itself and ``close()`` it when done.
+    """
     return DatasetStore(store_dir).dataset()
 
 

@@ -1,0 +1,123 @@
+"""Regression tests for the engine's concurrency contract.
+
+Before the build/memoization locks, concurrent first queries could
+build the index twice (``ensure`` was an unlocked check-then-setattr)
+or compute an aggregate table twice (``functools.cached_property``
+lost its lock in Python 3.12).  These tests hammer both paths from a
+thread pool and assert single construction plus bit-equal results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.analysis.engine import AnalysisIndex, ensure_index
+
+WORKERS = 8
+
+
+def _fresh(dataset):
+    """A copy of the dataset without the cached-index attribute.
+
+    ``dataclasses.replace`` copies only declared fields, so the
+    ``setattr``-cached index (and build lock) of the session fixture
+    stay behind.
+    """
+    return dataclasses.replace(dataset)
+
+
+def test_concurrent_ensure_builds_once(tiny_dataset, monkeypatch):
+    fresh = _fresh(tiny_dataset)
+    calls: list[int] = []
+    real_build = AnalysisIndex.build.__func__
+
+    def counting_build(cls, source):
+        calls.append(threading.get_ident())
+        time.sleep(0.05)  # widen the historical check-then-set race
+        return real_build(cls, source)
+
+    monkeypatch.setattr(AnalysisIndex, "build", classmethod(counting_build))
+    barrier = threading.Barrier(WORKERS)
+
+    def worker(_):
+        barrier.wait()
+        return ensure_index(fresh)
+
+    with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+        results = list(pool.map(worker, range(WORKERS)))
+
+    assert len(calls) == 1
+    assert all(index is results[0] for index in results)
+
+
+def test_ensure_different_datasets_not_serialized(tiny_dataset, monkeypatch):
+    """The build lock is per-dataset: two datasets build concurrently."""
+    first, second = _fresh(tiny_dataset), _fresh(tiny_dataset)
+    overlap = threading.Barrier(2, timeout=30)
+    real_build = AnalysisIndex.build.__func__
+
+    def meeting_build(cls, source):
+        overlap.wait()  # both builds must be in flight at once
+        return real_build(cls, source)
+
+    monkeypatch.setattr(AnalysisIndex, "build", classmethod(meeting_build))
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        first_index, second_index = pool.map(ensure_index, [first, second])
+    assert first_index is not second_index
+
+
+def test_concurrent_table_memo_computes_once(tiny_dataset, monkeypatch):
+    index = ensure_index(_fresh(tiny_dataset))
+    descriptor = AnalysisIndex.__dict__["_category_table"]
+    calls: list[int] = []
+    original = descriptor.func
+
+    def counting(instance):
+        calls.append(threading.get_ident())
+        time.sleep(0.02)
+        return original(instance)
+
+    monkeypatch.setattr(descriptor, "func", counting)
+    barrier = threading.Barrier(WORKERS)
+
+    def worker(_):
+        barrier.wait()
+        return index.category_counts()
+
+    with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+        results = list(pool.map(worker, range(WORKERS)))
+
+    assert len(calls) == 1
+    # One memoized object, not equal re-computations.
+    assert all(table is results[0] for table in results)
+
+
+def test_concurrent_tables_bit_equal_serial(tiny_dataset):
+    """Mixed concurrent table reads match a serially-built index."""
+    serial = ensure_index(_fresh(tiny_dataset))
+    expected = {
+        "global": serial.global_category_counts(),
+        "crossborder": serial.crossborder_counts("server"),
+        "summary": serial.summary(),
+    }
+
+    hammered = ensure_index(_fresh(tiny_dataset))
+    barrier = threading.Barrier(WORKERS)
+
+    def worker(kind: str):
+        barrier.wait()
+        if kind == "global":
+            return "global", hammered.global_category_counts()
+        if kind == "crossborder":
+            return "crossborder", hammered.crossborder_counts("server")
+        return "summary", hammered.summary()
+
+    kinds = ["global", "crossborder", "summary", "global",
+             "crossborder", "summary", "global", "crossborder"]
+    assert len(kinds) == WORKERS
+    with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+        for kind, value in pool.map(worker, kinds):
+            assert value == expected[kind]

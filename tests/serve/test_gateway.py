@@ -1,0 +1,98 @@
+"""HTTP gateway behavior: JSON endpoints, structured 4xx errors, and
+byte-equality between what travels over the wire and the service."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.reporting import render_report_section
+
+from .conftest import http_get, http_post
+
+
+def test_healthz(base_url, tiny_dataset):
+    status, body = http_get(f"{base_url}/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["countries"] == len(tiny_dataset.countries)
+    assert body["records"] > 0
+
+
+def test_metrics_endpoint_reflects_traffic(base_url):
+    before = http_get(f"{base_url}/metrics")[1]
+    http_get(f"{base_url}/v1/summary")
+    status, after = http_get(f"{base_url}/metrics")
+    assert status == 200
+    assert after["counters"]["serve.requests.summary"] == \
+        before["counters"].get("serve.requests.summary", 0) + 1
+
+
+def test_get_and_post_answer_identically(base_url):
+    get_status, get_body = http_get(
+        f"{base_url}/v1/categories?country=BR&weighting=bytes"
+    )
+    post_status, post_body = http_post(
+        f"{base_url}/v1/categories", {"country": "BR", "weighting": "bytes"}
+    )
+    assert get_status == post_status == 200
+    assert get_body == post_body
+
+
+def test_report_fragment_matches_batch_bytes(base_url, tiny_dataset):
+    status, body = http_get(f"{base_url}/v1/report?section=providers")
+    assert status == 200
+    assert body["text"] == render_report_section(tiny_dataset, "providers")
+
+
+def test_unknown_country_is_404_with_error_object(base_url):
+    status, body = http_get(f"{base_url}/v1/categories?country=ZZ")
+    assert status == 404
+    assert body["error"]["code"] == "unknown-country"
+    assert body["error"]["field"] == "country"
+
+
+def test_bad_section_is_400_with_error_object(base_url):
+    status, body = http_get(f"{base_url}/v1/report?section=appendix")
+    assert status == 400
+    assert body["error"]["code"] == "bad-choice"
+    assert body["error"]["field"] == "section"
+
+
+def test_unknown_field_is_400(base_url):
+    status, body = http_post(f"{base_url}/v1/summary", {"surprise": 1})
+    assert status == 400
+    assert body["error"]["code"] == "unknown-field"
+
+
+def test_malformed_json_body_is_400(base_url):
+    status, body = http_post(f"{base_url}/v1/summary", b"{not json")
+    assert status == 400
+    assert body["error"]["code"] == "bad-json"
+
+
+def test_non_object_json_body_is_400(base_url):
+    status, body = http_post(f"{base_url}/v1/summary", b"[1, 2]")
+    assert status == 400
+    assert body["error"]["code"] == "bad-type"
+
+
+def test_unknown_endpoint_is_404(base_url):
+    status, body = http_get(f"{base_url}/v1/everything")
+    assert status == 404
+    assert body["error"]["code"] == "unknown-endpoint"
+
+
+def test_unknown_path_is_404(base_url):
+    status, body = http_get(f"{base_url}/nope")
+    assert status == 404
+    assert body["error"]["code"] == "not-found"
+
+
+def test_keepalive_serves_sequential_requests(base_url):
+    # One opener reusing the stack; mainly asserts Content-Length is
+    # right (a wrong length wedges or truncates the second response).
+    for _ in range(3):
+        with urllib.request.urlopen(f"{base_url}/v1/summary") as response:
+            payload = json.load(response)
+            assert "summary" in payload

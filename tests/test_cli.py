@@ -231,3 +231,101 @@ def test_report_summary_matches_between_backends(saved_dataset, tmp_path,
     jsonl_summary = capsys.readouterr().out
     assert main(["report", str(store)]) == 0
     assert capsys.readouterr().out == jsonl_summary
+
+
+# ---------------------------------------------------- dataset load errors
+
+def test_report_missing_path_exits_cleanly(capsys):
+    assert main(["report", "/no/such/dataset.jsonl"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no such dataset" in err
+
+
+def test_report_truncated_jsonl_exits_cleanly(saved_dataset, tmp_path,
+                                              capsys):
+    truncated = tmp_path / "truncated.jsonl"
+    raw = saved_dataset.read_bytes()
+    truncated.write_bytes(raw[: int(len(raw) * 0.6)])
+    assert main(["report", str(truncated)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_report_empty_jsonl_exits_cleanly(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["report", str(empty)]) == 1
+    assert "empty dataset" in capsys.readouterr().err
+
+
+def test_report_corrupt_store_manifest_exits_cleanly(saved_dataset,
+                                                     tmp_path, capsys):
+    store = tmp_path / "corrupt.store"
+    assert main(["convert", str(saved_dataset), str(store)]) == 0
+    capsys.readouterr()
+    (store / "manifest.json").write_text("{broken")
+    assert main(["report", str(store)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "manifest" in err
+
+
+def test_report_plain_directory_exits_cleanly(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 1
+    assert "not a dataset store" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ serve
+
+def test_serve_requires_a_dataset_source():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["serve"])
+
+
+def test_serve_rejects_both_sources(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["serve", "--dataset", "a.jsonl", "--store-dir", "b.store"])
+
+
+def test_serve_missing_dataset_exits_cleanly(capsys):
+    assert main(["serve", "--dataset", "/no/such/dataset.jsonl"]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_serve_rejects_bad_workers(saved_dataset, capsys):
+    assert main(["serve", "--dataset", str(saved_dataset),
+                 "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_serve_answers_over_http(saved_dataset, capsys):
+    """End-to-end: CLI-started server answers and matches the batch CLI."""
+    import json
+    import threading
+    import urllib.request
+
+    from repro.serve import DatasetService, create_server
+
+    assert main(["report", str(saved_dataset), "--section", "global"]) == 0
+    batch = capsys.readouterr().out.rstrip("\n")
+
+    service = DatasetService.open(saved_dataset)
+    server = create_server(service, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = server.server_address[1]
+        url = f"http://127.0.0.1:{port}/v1/report?section=global"
+        with urllib.request.urlopen(url) as response:
+            body = json.load(response)
+        assert body["text"] == batch
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)
