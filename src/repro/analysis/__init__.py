@@ -73,8 +73,12 @@ from repro.analysis.resilience import (
     worst_global_outage,
 )
 from repro.analysis.longitudinal import (
+    CategoryMigration,
     CountryDelta,
+    TrendPoint,
+    TrendReport,
     compare_snapshots,
+    compute_trends,
     trend_summary,
 )
 from repro.analysis.affordability import (
@@ -132,7 +136,11 @@ __all__ = [
     "single_points_of_failure",
     "worst_global_outage",
     "CountryDelta",
+    "CategoryMigration",
+    "TrendPoint",
+    "TrendReport",
     "compare_snapshots",
+    "compute_trends",
     "trend_summary",
     "AffordabilityReport",
     "country_affordability",

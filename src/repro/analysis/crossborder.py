@@ -56,10 +56,9 @@ def flows(
 ) -> list[CrossBorderFlow]:
     """Figure 9: all cross-border (source, destination) flows."""
     index = ensure_index(dataset)
-    counts = index.crossborder_counts(basis)
     return [
         CrossBorderFlow(source=s, destination=d, url_count=u, byte_count=b)
-        for (s, d), (u, b) in sorted(counts.items())
+        for s, d, u, b in index.crossborder_flow_table(basis)
     ]
 
 

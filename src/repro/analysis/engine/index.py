@@ -186,6 +186,8 @@ class AnalysisIndex:
         self._spans: list[tuple[str, int, int, int]] = []
         self._span_by_code: dict[str, tuple[int, int, int]] = {}
         self._crossborder_tables: dict[str, dict] = {}
+        self._crossborder_flow_tables: dict[str, tuple] = {}
+        self._crossborder_flow_slices: dict[str, dict] = {}
         self._scan(dataset)
         #: Wall seconds the columnar scan took (observability only;
         #: never feeds back into any analysis result).
@@ -395,6 +397,56 @@ class AnalysisIndex:
                     int(byte_sums[i]),
                 )
         return table
+
+    def crossborder_flow_table(
+        self, basis: str = "server"
+    ) -> tuple[tuple[str, str, int, int], ...]:
+        """The sorted flow table: ``(source, destination, urls, bytes)``.
+
+        The immutable, memoized form of :meth:`crossborder_counts`
+        already sorted by ``(source, destination)`` -- what a query
+        service answers ``/v1/crossborder`` from without re-sorting the
+        dict per request (the old p95 tail: every first-hit-per-thread
+        rebuilt and re-sorted the full table).
+        """
+        key = "registration" if basis == "registration" else "server"
+        memo = self._crossborder_flow_tables.get(key)
+        if memo is None:
+            with self._memo_lock:
+                memo = self._crossborder_flow_tables.get(key)
+                if memo is None:
+                    memo = tuple(
+                        (s, d, u, b)
+                        for (s, d), (u, b)
+                        in sorted(self.crossborder_counts(key).items())
+                    )
+                    self._crossborder_flow_tables[key] = memo
+        return memo
+
+    def crossborder_flow_slices(
+        self, basis: str = "server"
+    ) -> dict[str, tuple[int, int]]:
+        """Per-source ``[start, stop)`` ranges into the sorted flow table.
+
+        Since :meth:`crossborder_flow_table` sorts by source first, one
+        source's flows are a contiguous run; a per-source query is a
+        slice, not a filter pass over every flow.
+        """
+        key = "registration" if basis == "registration" else "server"
+        memo = self._crossborder_flow_slices.get(key)
+        if memo is None:
+            with self._memo_lock:
+                memo = self._crossborder_flow_slices.get(key)
+                if memo is None:
+                    memo = {}
+                    table = self.crossborder_flow_table(key)
+                    for position, (source, _, _, _) in enumerate(table):
+                        if source not in memo:
+                            memo[source] = (position, position + 1)
+                        else:
+                            memo[source] = (memo[source][0], position + 1)
+                    self._crossborder_flow_slices[key] = memo
+        return memo
 
     # --------------------------------------------------- provider tables
 

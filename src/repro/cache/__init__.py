@@ -20,6 +20,8 @@ is byte-identical cold vs. warm and across executors.
 from repro.cache.fingerprint import (
     CACHE_FORMAT_VERSION,
     country_key,
+    country_slice_fingerprint,
+    global_fingerprint,
     run_fingerprint,
     scan_key,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "CacheStats",
     "ScanCache",
     "country_key",
+    "country_slice_fingerprint",
+    "global_fingerprint",
     "run_fingerprint",
     "scan_key",
 ]

@@ -49,7 +49,8 @@ from repro.cache import columnar
 from repro.cache.fingerprint import (
     CACHE_FORMAT_VERSION,
     country_key,
-    run_fingerprint,
+    country_slice_fingerprint,
+    global_fingerprint,
 )
 from repro.exec.partials import CountryPartial
 
@@ -137,23 +138,30 @@ class ScanCache:
         self.cache_dir = pathlib.Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
-        #: Run fingerprints memoized per pipeline (config
+        #: Global fingerprints memoized per pipeline (config
         #: canonicalization costs more than the per-country key).
-        self._run_fps: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._global_fps: "weakref.WeakKeyDictionary" = \
+            weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------- keys
 
     def key_for(self, pipeline: "Pipeline", country: str) -> str:
-        """The content address of one country's scan under ``pipeline``."""
-        run_fp = self._run_fps.get(pipeline)
-        if run_fp is None:
-            run_fp = run_fingerprint(
+        """The content address of one country's scan under ``pipeline``.
+
+        Composed from the run's global fingerprint plus the country's
+        own config slice, so an evolved snapshot re-keys exactly the
+        mutated countries and hits on everything else.
+        """
+        global_fp = self._global_fps.get(pipeline)
+        if global_fp is None:
+            global_fp = global_fingerprint(
                 pipeline.world.config,
                 pipeline.crawler.max_depth,
                 pipeline.fault_plan,
             )
-            self._run_fps[pipeline] = run_fp
-        return country_key(run_fp, country)
+            self._global_fps[pipeline] = global_fp
+        slice_fp = country_slice_fingerprint(pipeline.world.config, country)
+        return country_key(global_fp, country, slice_fp)
 
     def _entry_path(self, key: str) -> pathlib.Path:
         return self.cache_dir / key[:2] / f"{key}{ENTRY_SUFFIX}"

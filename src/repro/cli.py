@@ -6,6 +6,7 @@
     repro-gov run --scale 0.05 --cache-dir .scan     # warm-start on re-runs
     repro-gov run --scale 0.05 --out d.jsonl --manifest --trace-out trace.json
     repro-gov run --scale 0.05 --store-dir world.store  # columnar store
+    repro-gov evolve --snapshots 4 --cache-dir .scan  # longitudinal series
     repro-gov report dataset.jsonl                   # analyses over a saved run
     repro-gov report world.store --section full      # same, zero-copy store
     repro-gov convert dataset.jsonl world.store      # jsonl <-> store
@@ -101,6 +102,38 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print a per-country heartbeat to stderr as "
                           "scans complete")
 
+    evolve = subparsers.add_parser(
+        "evolve", help="run a longitudinal snapshot series: evolve the "
+                       "world per snapshot and re-scan only what changed"
+    )
+    evolve.add_argument("--seed", type=int, default=42)
+    evolve.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's dataset size")
+    evolve.add_argument("--countries", nargs="*", metavar="CC",
+                        help="restrict to these country codes")
+    evolve.add_argument("--snapshots", type=int, default=3, metavar="N",
+                        help="series length including the base snapshot "
+                             "(default: 3)")
+    evolve.add_argument("--evolve-seed", type=int, default=1, metavar="SEED",
+                        help="seed of the mutation model (default: 1)")
+    evolve.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="shared scan cache; unchanged countries of "
+                             "each snapshot are served from it instead of "
+                             "re-scanned (default: no caching, every "
+                             "snapshot runs cold)")
+    evolve.add_argument("--out-dir", metavar="PATH", default=None,
+                        help="write each snapshot as "
+                             "<out-dir>/snapshot-N.jsonl")
+    evolve.add_argument("--manifest", action="store_true",
+                        help="write a provenance manifest per snapshot, "
+                             "chained to its parent (requires --out-dir)")
+    evolve.add_argument("--executor", choices=EXECUTOR_NAMES,
+                        default="serial",
+                        help="execution strategy for the per-country "
+                             "scans (default: serial)")
+    evolve.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count for parallel executors")
+
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset "
                        "(a jsonl file or a columnar store directory)"
@@ -132,6 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
     dataset_source.add_argument("--store-dir", metavar="PATH",
                                 help="a columnar store directory to serve "
                                      "(zero-copy, preferred at scale)")
+    serve.add_argument("--history", action="append", default=[],
+                       metavar="PATH",
+                       help="an earlier snapshot of the same series "
+                            "(repeatable, oldest first); enables real "
+                            "multi-snapshot curves on /v1/trends")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8321,
@@ -257,6 +295,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis.longitudinal import compute_trends
+    from repro.evolve import SnapshotSeries
+    from repro.reporting.sections import render_trend_report
+
+    if args.snapshots < 1:
+        print("error: --snapshots must be at least 1", file=sys.stderr)
+        return 2
+    if args.manifest and not args.out_dir:
+        print("error: --manifest requires --out-dir", file=sys.stderr)
+        return 2
+    config = WorldConfig(
+        seed=args.seed, scale=args.scale,
+        countries=args.countries or None,
+    )
+    executor = make_executor(args.executor, workers=args.workers)
+    series = SnapshotSeries(
+        config, args.snapshots,
+        evolution_seed=args.evolve_seed,
+        cache=args.cache_dir,
+        executor=executor,
+        collect_manifests=args.manifest,
+    )
+    try:
+        records = series.run()
+    finally:
+        executor.close()
+    for record in records:
+        changed = ", ".join(record.changed_countries) or "none"
+        if record.cache_stats is not None:
+            print(f"{record.label}: {record.cache_stats.summary()} "
+                  f"(changed: {changed})")
+        else:
+            summary = record.dataset.summarize()
+            print(f"{record.label}: {summary.total_unique_urls:,} URLs "
+                  f"(changed: {changed})")
+    if args.cache_dir:
+        print(f"series total: {series.total_stats.summary()}")
+    if args.out_dir:
+        from repro.io import save_dataset
+        from repro.obs import manifest_path_for
+
+        out_dir = pathlib.Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for record in records:
+            path = out_dir / f"snapshot-{record.step}.jsonl"
+            written = save_dataset(record.dataset, path)
+            print(f"wrote {written:,} records to {path}")
+            if record.manifest is not None:
+                record.manifest.write(manifest_path_for(path))
+    print()
+    print(render_trend_report(compute_trends(
+        [record.dataset for record in records],
+        labels=[record.label for record in records],
+    )))
+    return 0
+
+
 def _chrome_trace_path(trace_out: str) -> str:
     """``trace.json`` -> ``trace.chrome.json`` (suffix-preserving)."""
     if trace_out.endswith(".json"):
@@ -306,7 +404,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     loaded = _load_any_dataset(args.dataset or args.store_dir)
     if loaded is None:
         return 1
-    service = DatasetService(loaded)
+    history = []
+    for path in args.history:
+        earlier = _load_any_dataset(path)
+        if earlier is None:
+            loaded.close()
+            for item in history:
+                item.close()
+            return 1
+        history.append(earlier)
+    service = DatasetService(loaded, history=history)
     server = create_server(service, host=args.host, port=args.port,
                            workers=args.workers)
     host, port = server.server_address[:2]
@@ -436,6 +543,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _configure_logging(args.verbose, args.quiet)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "evolve":
+        return _cmd_evolve(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "convert":

@@ -14,6 +14,65 @@ from typing import Optional, Sequence
 
 
 @dataclasses.dataclass(frozen=True)
+class CountryOverride:
+    """Per-country deviations from the base world (evolution deltas).
+
+    Each field perturbs exactly one country's slice of the world; a
+    country without an override (or with an all-default one) generates
+    byte-identically to the base configuration.  The evolution model
+    (:mod:`repro.evolve`) composes these across snapshot steps.
+    """
+
+    country: str
+    #: (provider key, weight multiplier) pairs applied to the country's
+    #: global-provider adoption weights; a multiplier above 1 also
+    #: force-adopts a provider the base draw skipped.
+    provider_tilt: tuple[tuple[str, float], ...] = ()
+    #: Share of the remaining Govt&SOE/local mix migrated to 3P Global
+    #: hosting (sites moving to hyperscalers), composed on top of the
+    #: world-wide ``third_party_drift``.
+    hyperscaler_shift: float = 0.0
+    #: Additional state-owned-enterprise networks beyond the profile's.
+    extra_soes: int = 0
+    #: Prefix registration epoch: bumping it re-registers the country's
+    #: address space in a fresh block range.
+    prefix_epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hyperscaler_shift <= 0.5:
+            raise ValueError(
+                f"hyperscaler_shift must be within [0, 0.5], "
+                f"got {self.hyperscaler_shift}"
+            )
+        if self.extra_soes < 0:
+            raise ValueError("extra_soes must be non-negative")
+        if not 0 <= self.prefix_epoch < 32:
+            raise ValueError("prefix_epoch must be in [0, 32)")
+        for key, factor in self.provider_tilt:
+            if factor <= 0:
+                raise ValueError(
+                    f"provider_tilt factor for {key!r} must be positive"
+                )
+
+    def is_default(self) -> bool:
+        """True when the override changes nothing (fingerprint no-op)."""
+        return (not self.provider_tilt and self.hyperscaler_shift == 0.0
+                and self.extra_soes == 0 and self.prefix_epoch == 0)
+
+    def canonical_dict(self) -> dict:
+        """JSON-stable form: uppercased country, sorted tilt pairs."""
+        return {
+            "country": self.country.upper(),
+            "provider_tilt": sorted(
+                [key, float(factor)] for key, factor in self.provider_tilt
+            ),
+            "hyperscaler_shift": self.hyperscaler_shift,
+            "extra_soes": self.extra_soes,
+            "prefix_epoch": self.prefix_epoch,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
 class WorldConfig:
     """All knobs of the synthetic world."""
 
@@ -42,6 +101,12 @@ class WorldConfig:
     #: Seed of the fault decision streams (None: derived from ``seed``),
     #: so failures can vary while the generated world stays fixed.
     fault_seed: Optional[int] = None
+
+    # --- longitudinal evolution (repro.evolve) ------------------------------
+    #: Per-country deviations from the base world.  Countries without an
+    #: entry generate byte-identically to an override-free config, which
+    #: is what lets an evolved snapshot reuse their cached scans.
+    country_overrides: tuple[CountryOverride, ...] = ()
 
     # --- web structure -----------------------------------------------------
     #: Share of unique URLs found at each crawl depth (0 = landing page).
@@ -138,6 +203,16 @@ class WorldConfig:
                 f"unknown fault profile {self.fault_profile!r}; expected one "
                 f"of {', '.join(FAULT_PROFILE_NAMES)}"
             )
+        seen_override_codes = set()
+        for override in self.country_overrides:
+            if not isinstance(override, CountryOverride):
+                raise ValueError(
+                    "country_overrides must hold CountryOverride instances"
+                )
+            code = override.country.upper()
+            if code in seen_override_codes:
+                raise ValueError(f"duplicate override for country {code}")
+            seen_override_codes.add(code)
 
     def canonical_dict(self) -> dict:
         """Every field as a JSON-stable dict (the scan-cache key input).
@@ -158,7 +233,47 @@ class WorldConfig:
         )
         data["depth_distribution"] = list(self.depth_distribution)
         data["fault_seed"] = FaultPlan.from_config(self).seed
+        data["country_overrides"] = sorted(
+            (override.canonical_dict() for override in self.country_overrides
+             if not override.is_default()),
+            key=lambda entry: entry["country"],
+        )
         return data
+
+    def canonical_global_dict(self) -> dict:
+        """The country-independent fields as a JSON-stable dict.
+
+        Everything in :meth:`canonical_dict` except the country
+        selection and the per-country overrides -- the inputs that
+        decide *which* scans run and how single slices deviate, but
+        never the content of an unchanged country's slice.  The scan
+        cache keys per-country entries on this plus the country's own
+        slice (:meth:`country_slice_dict`), so mutating one country
+        can only ever invalidate that country's entries.
+        """
+        data = self.canonical_dict()
+        del data["countries"]
+        del data["country_overrides"]
+        return data
+
+    def override_for(self, country: str) -> Optional[CountryOverride]:
+        """The override applying to ``country``, if any."""
+        code = country.upper()
+        for override in self.country_overrides:
+            if override.country.upper() == code:
+                return override
+        return None
+
+    def country_slice_dict(self, country: str) -> dict:
+        """One country's slice of the config as a JSON-stable dict."""
+        override = self.override_for(country)
+        return {
+            "country": country.upper(),
+            "override": (
+                None if override is None or override.is_default()
+                else override.canonical_dict()
+            ),
+        }
 
     def country_codes(self) -> list[str]:
         """The country codes to generate (validated against the sample)."""
@@ -173,4 +288,4 @@ class WorldConfig:
         return codes
 
 
-__all__ = ["WorldConfig"]
+__all__ = ["CountryOverride", "WorldConfig"]

@@ -56,6 +56,19 @@ from repro.world.regions import Continent
 #: First ASN used for synthetic (non-catalog) networks.
 SYNTHETIC_ASN_BASE = 210_000
 
+#: ASNs reserved for shared infrastructure (regional providers) before
+#: the per-country blocks begin.
+_ASN_INFRA_BLOCK = 1_024
+
+#: ASNs reserved per country.  Numbering is positional over the *full*
+#: country table, so one country's AS count (e.g. evolution adding an
+#: SOE) can never shift another country's ASNs.
+_ASN_COUNTRY_BLOCK = 64
+
+#: Stable allocation-scope index per country code (full table order,
+#: independent of the configured sample).
+_SCOPE_INDEX = {code: index for index, code in enumerate(COUNTRIES)}
+
 #: Anycast hub countries providers announce from besides the customer country.
 ANYCAST_HUBS = ("US", "DE", "SG", "BR", "AU")
 
@@ -168,7 +181,12 @@ class _Generator:
         self.topsites: dict[str, list[TopSite]] = {}
         self.nameservers = NsRegistry()
 
-        self._next_asn = SYNTHETIC_ASN_BASE
+        self._next_infra_asn = SYNTHETIC_ASN_BASE
+        self._country_asn_next: dict[str, int] = {}
+        #: Customer country whose slice is currently being generated;
+        #: scopes every address allocation, pool and CNAME name so one
+        #: country's consumption never shifts another's.
+        self._scope_code: Optional[str] = None
         self._used_hostnames: set[str] = set()
         self._global_as: dict[str, AutonomousSystem] = {}
         self._global_spec: dict[str, GlobalProviderSpec] = {}
@@ -180,18 +198,40 @@ class _Generator:
         self._intl_local_as: dict[str, AutonomousSystem] = {}
         self._enterprise_as: dict[str, AutonomousSystem] = {}
         self._anycast_groups: dict[tuple[int, str], list[AnycastGroup]] = {}
-        self._address_pools: dict[tuple[int, str], list[int]] = {}
+        self._address_pools: dict[tuple[str, int, str], list[int]] = {}
         self._prominent_addresses: set[int] = set()
         #: address -> (AS, allocation PoP, is_anycast)
         self._address_info: dict[int, tuple[AutonomousSystem, PoP, bool]] = {}
-        self._cname_counter = 0
+        #: address -> customer country it was allocated for.
+        self._address_scope: dict[int, str] = {}
+        self._cname_counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------ util
 
-    def _alloc_asn(self) -> int:
-        asn = self._next_asn
-        self._next_asn += 1
+    def _alloc_infra_asn(self) -> int:
+        """An ASN from the shared-infrastructure block."""
+        asn = self._next_infra_asn
+        if asn >= SYNTHETIC_ASN_BASE + _ASN_INFRA_BLOCK:
+            raise RuntimeError("infrastructure ASN block exhausted")
+        self._next_infra_asn += 1
         return asn
+
+    def _alloc_country_asn(self, code: str) -> int:
+        """The next ASN of ``code``'s fixed, positional block."""
+        base = (SYNTHETIC_ASN_BASE + _ASN_INFRA_BLOCK
+                + _SCOPE_INDEX[code] * _ASN_COUNTRY_BLOCK)
+        asn = self._country_asn_next.get(code, base)
+        if asn >= base + _ASN_COUNTRY_BLOCK:
+            raise RuntimeError(f"ASN block of {code} exhausted")
+        self._country_asn_next[code] = asn + 1
+        return asn
+
+    def _scope_args(self) -> tuple[int, int]:
+        """(scope index, prefix epoch) of the current customer country."""
+        assert self._scope_code is not None, "allocation outside a scope"
+        override = self.config.override_for(self._scope_code)
+        epoch = override.prefix_epoch if override is not None else 0
+        return _SCOPE_INDEX[self._scope_code], epoch
 
     @staticmethod
     def _pop_at(code: str, city_index: int = 0) -> PoP:
@@ -216,20 +256,32 @@ class _Generator:
         rng: random.Random,
         reuse: bool = True,
     ) -> int:
-        """An address for a deployment, reusing pool addresses per config."""
-        key = (autonomous_system.asn, pop.country)
+        """An address for a deployment, reusing pool addresses per config.
+
+        Pools are scoped to the customer country being generated: two
+        countries deploying on the same provider PoP draw from disjoint
+        pools, so neither's allocation history perturbs the other's.
+        """
+        assert self._scope_code is not None
+        key = (self._scope_code, autonomous_system.asn, pop.country)
         pool = self._address_pools.setdefault(key, [])
         if reuse and pool and rng.random() < self.config.ip_reuse_prob:
             return rng.choice(pool)
-        address = self.registry.allocate_address(autonomous_system, pop)
+        scope, epoch = self._scope_args()
+        address = self.registry.allocate_address(
+            autonomous_system, pop, scope, epoch
+        )
         pool.append(address)
         self._address_info[address] = (autonomous_system, pop, False)
+        self._address_scope[address] = self._scope_code
         return address
 
     def _next_cname_target(self, provider: AutonomousSystem) -> str:
-        self._cname_counter += 1
+        assert self._scope_code is not None
+        count = self._cname_counters.get(self._scope_code, 0) + 1
+        self._cname_counters[self._scope_code] = count
         domain = provider.contact_domain or f"as{provider.asn}.net"
-        return f"edge-{self._cname_counter}.cdn.{domain}"
+        return f"edge-{self._scope_code.lower()}-{count}.cdn.{domain}"
 
     # ------------------------------------------------------------ providers
 
@@ -273,17 +325,48 @@ class _Generator:
                     adopted.append((self._global_as[spec.key], weight))
             if not adopted:
                 adopted.append((self._global_as["cloudflare"], 1.0))
+            override = self.config.override_for(code)
+            if override is not None and override.provider_tilt:
+                adopted = self._tilt_adoption(adopted, override.provider_tilt)
             self._adoption[code] = adopted
 
+    def _tilt_adoption(
+        self,
+        adopted: list[tuple[AutonomousSystem, float]],
+        tilt: tuple[tuple[str, float], ...],
+    ) -> list[tuple[AutonomousSystem, float]]:
+        """Apply evolution's provider gain/loss multipliers to one country."""
+        factors = dict(tilt)
+        tilted = [
+            (provider, weight * factors.get(self._spec_key_of(provider), 1.0))
+            for provider, weight in adopted
+        ]
+        present = {self._spec_key_of(provider) for provider, _ in tilted}
+        for key, factor in sorted(factors.items()):
+            # A gaining provider the base draw skipped enters the mix.
+            if factor > 1.0 and key not in present and key in self._global_as:
+                spec = self._global_spec[key]
+                tilted.append(
+                    (self._global_as[key], spec.base_weight * (factor - 1.0))
+                )
+        return tilted
+
+    def _spec_key_of(self, provider: AutonomousSystem) -> str:
+        for key, candidate in self._global_as.items():
+            if candidate is provider:
+                return key
+        return provider.name.lower()
+
     def _build_regional_providers(self) -> None:
-        sample_by_continent: dict[Continent, list[str]] = {}
-        for code in self.codes:
-            continent = get_country(code).continent
-            sample_by_continent.setdefault(continent, []).append(code)
+        # Membership comes from the *full* country table, not the
+        # configured sample: the providers (and their ASNs and PoP
+        # lists) are identical no matter which countries are generated,
+        # so adding a country to a series never perturbs the others.
+        members_by_continent: dict[Continent, list[str]] = {}
+        for code, country in COUNTRIES.items():
+            members_by_continent.setdefault(country.continent, []).append(code)
         for continent, hubs in REGIONAL_HUBS.items():
-            members = sample_by_continent.get(continent, [])
-            if not members:
-                continue
+            members = members_by_continent.get(continent, [])
             providers: list[AutonomousSystem] = []
             rng = derive_rng(self.config.seed, "regional", continent.name)
             for index, hub in enumerate(hubs):
@@ -292,7 +375,7 @@ class _Generator:
                 pop_codes = list(dict.fromkeys([hub] + members))
                 pops = tuple(self._pop_at(code) for code in pop_codes)
                 autonomous_system = AutonomousSystem(
-                    asn=self._alloc_asn(),
+                    asn=self._alloc_infra_asn(),
                     name=name.upper(),
                     organization=f"{stem.replace('-', ' ').title()} ({hub})",
                     registration_country=hub,
@@ -324,7 +407,7 @@ class _Generator:
             sector = sectors[index % len(sectors)]
             org = government_org_name(sector, country.name, rng)
             autonomous_system = AutonomousSystem(
-                asn=self._alloc_asn(),
+                asn=self._alloc_country_asn(code),
                 name=f"GOVNET-{code}-{index + 1}",
                 organization=org,
                 registration_country=code,
@@ -345,11 +428,19 @@ class _Generator:
         # "energy-holding"/"petro-fiscal" carry no government keyword in
         # their names (the YPF case): only the web-search step finds them.
         soe_stems = ["national-telecom", "energy-holding", "petro-fiscal"]
-        for index, stem in enumerate(soe_stems[: max(1, profile.gov_network_count // 2)]):
+        chosen_stems = soe_stems[: max(1, profile.gov_network_count // 2)]
+        override = self.config.override_for(code)
+        if override is not None and override.extra_soes:
+            # Evolution: newly corporatized state ventures get their own
+            # networks, drawn from this country's fixed ASN block.
+            chosen_stems = chosen_stems + [
+                f"state-venture-{n + 1}" for n in range(override.extra_soes)
+            ]
+        for index, stem in enumerate(chosen_stems):
             org = soe_org_name(stem, country.name, rng)
             website = f"https://www.{stem}-{country.cctld}.com"
             autonomous_system = AutonomousSystem(
-                asn=self._alloc_asn(),
+                asn=self._alloc_country_asn(code),
                 name=f"{stem.replace('-', '').upper()}-{code}",
                 organization=org,
                 registration_country=code,
@@ -372,7 +463,7 @@ class _Generator:
             stem = LOCAL_PROVIDER_STEMS[index % len(LOCAL_PROVIDER_STEMS)]
             name = f"{stem}-{country.cctld}"
             autonomous_system = AutonomousSystem(
-                asn=self._alloc_asn(),
+                asn=self._alloc_country_asn(code),
                 name=name.upper(),
                 organization=f"{stem.title()} Hosting {country.name}",
                 registration_country=code,
@@ -396,7 +487,7 @@ class _Generator:
             self._pop_at(pc) for pc in dict.fromkeys([code] + partner_codes)
         )
         intl_local = AutonomousSystem(
-            asn=self._alloc_asn(),
+            asn=self._alloc_country_asn(code),
             name=f"GLOBALEDGE-{code}",
             organization=f"GlobalEdge Hosting {country.name}",
             registration_country=code,
@@ -438,10 +529,12 @@ class _Generator:
         if not offshore:
             pop_codes.insert(0, code)
         pops = tuple(self._pop_at(pc) for pc in pop_codes)
-        address = self.registry.allocate_address(provider, pops[0])
+        scope, epoch = self._scope_args()
+        address = self.registry.allocate_address(provider, pops[0], scope, epoch)
         group = AnycastGroup(address=address, asn=provider.asn, pops=pops)
         self.anycast_index.add(group)
         self._address_info[address] = (provider, pops[0], True)
+        self._address_scope[address] = code
         groups.append(group)
         return group
 
@@ -654,11 +747,19 @@ class _Generator:
 
     def _build_country(self, country: Country) -> None:
         code = country.code
+        self._scope_code = code
         profile = get_profile(code)
+        override = self.config.override_for(code)
         if self.config.third_party_drift > 0:
             from repro.world.profiles import drift_profile
 
             profile = drift_profile(profile, self.config.third_party_drift)
+        if override is not None and override.hyperscaler_shift > 0:
+            # Evolution: part of this country's sites migrated to
+            # hyperscalers since the parent snapshot.
+            from repro.world.profiles import drift_profile
+
+            profile = drift_profile(profile, override.hyperscaler_shift)
         rng = derive_rng(self.config.seed, "country", code)
         scale = self.config.scale
 
@@ -1068,14 +1169,20 @@ class _Generator:
 
     def _build_measurement_databases(self) -> set[int]:
         """Populate IPInfo, MAnycast2, PTR, IPmap and PeeringDB; return the
-        set of ICMP-unresponsive addresses."""
+        set of ICMP-unresponsive addresses.
+
+        Every address draws from its own seeded stream: the databases'
+        view of one address is a pure function of that address, so a
+        country gaining or losing addresses (evolution) can never
+        perturb the measurement noise of any other address.
+        """
         config = self.config
-        rng = derive_rng(config.seed, "measurement")
         location_codes = all_location_codes()
         unresponsive: set[int] = set()
         self._mark_prominent_addresses()
 
         for address in sorted(self._address_info):
+            rng = derive_rng(config.seed, "measurement", address)
             autonomous_system, pop, is_anycast = self._address_info[address]
             if is_anycast:
                 hq = autonomous_system.registration_country
@@ -1141,15 +1248,17 @@ class _Generator:
             if rng.random() < config.ipmap_coverage:
                 self.ipmap.store(address, pop.country)
 
-        self._build_peeringdb(rng)
+        self._build_peeringdb()
         return unresponsive
 
     def _mark_prominent_addresses(self) -> None:
-        """Flag the top quartile of addresses by served URL mass.
+        """Flag the top quartile of each country's addresses by URL mass.
 
         The addresses behind major portals are ICMP-responsive and
         correctly geolocated in commercial databases; measurement noise
-        concentrates on the long tail, as on the real Internet.
+        concentrates on the long tail, as on the real Internet.  The
+        quartile is taken per customer country so one country's site
+        sizes never move another's prominence threshold.
         """
         weight: dict[int, int] = {}
         for hostname, truth in self.truth.hosts.items():
@@ -1158,15 +1267,18 @@ class _Generator:
                 continue
             mass = sum(1 + len(page.resources) for page in site.pages.values())
             weight[truth.address] = weight.get(truth.address, 0) + mass
-        unicast = [
-            address for address, (_a, _p, is_anycast) in self._address_info.items()
-            if not is_anycast
-        ]
-        unicast.sort(key=lambda address: (-weight.get(address, 0), address))
-        top = max(1, len(unicast) // 4)
-        self._prominent_addresses.update(unicast[:top])
+        by_scope: dict[str, list[int]] = {}
+        for address, (_a, _p, is_anycast) in self._address_info.items():
+            if is_anycast:
+                continue
+            scope = self._address_scope.get(address, "")
+            by_scope.setdefault(scope, []).append(address)
+        for unicast in by_scope.values():
+            unicast.sort(key=lambda address: (-weight.get(address, 0), address))
+            top = max(1, len(unicast) // 4)
+            self._prominent_addresses.update(unicast[:top])
 
-    def _build_peeringdb(self, rng: random.Random) -> None:
+    def _build_peeringdb(self) -> None:
         config = self.config
         coverage_by_kind = {
             ASKind.GOVERNMENT: config.peeringdb_gov_coverage,
@@ -1177,6 +1289,9 @@ class _Generator:
             ASKind.ISP: 0.7,
         }
         for autonomous_system in self.registry.iter_ases():
+            # One stream per AS: a new AS appearing (evolution adding an
+            # SOE) cannot perturb any other AS's coverage draws.
+            rng = derive_rng(config.seed, "peeringdb", autonomous_system.asn)
             coverage = coverage_by_kind[autonomous_system.kind]
             if rng.random() > coverage:
                 continue
@@ -1212,6 +1327,7 @@ class _Generator:
             if code not in self.codes:
                 continue
             country = get_country(code)
+            self._scope_code = code
             rng = derive_rng(self.config.seed, "topsites", code)
             sites: list[TopSite] = []
             hosts: list[str] = []
@@ -1319,7 +1435,7 @@ class _Generator:
         if existing is not None:
             return existing
         autonomous_system = AutonomousSystem(
-            asn=self._alloc_asn(),
+            asn=self._alloc_country_asn(code),
             name=f"CORPNET-{code}",
             organization=f"Enterprise Colocation {get_country(code).name}",
             registration_country=code,
@@ -1341,6 +1457,7 @@ class _Generator:
         for code in self.codes:
             self._build_country(get_country(code))
         self._build_topsites()
+        self._scope_code = None
         unresponsive = self._build_measurement_databases()
         fabric = ServingFabric(self.registry, self.anycast_index)
         for address in unresponsive:

@@ -1,0 +1,33 @@
+"""Longitudinal world evolution with incremental delta-scans.
+
+The paper's predecessor measured government hosting a year apart and
+found third-party reliance growing; this package makes that setting a
+first-class object.  An :class:`EvolutionModel` derives the world
+configuration of snapshot T+1 from snapshot T by seeded, pure
+per-country mutations — providers gain and lose customers, sites
+migrate to hyperscalers, new state-owned enterprises appear, address
+space re-registers — while every untouched country keeps a
+byte-identical slice of the configuration.
+
+Because the generator is per-country hermetic and the scan cache keys
+entries by ``(global fingerprint, country, country-slice fingerprint)``
+(see :mod:`repro.cache.fingerprint`), a :class:`SnapshotSeries` run
+re-scans exactly the mutated countries of each snapshot and serves the
+rest from cache: the incremental hit rate equals the unchanged-country
+fraction by construction, and each snapshot's dataset is byte-identical
+to a cold run of the same derived configuration.
+"""
+
+from repro.evolve.model import EvolutionModel, EvolutionRates, EvolutionStep
+from repro.evolve.mutations import MUTATION_KINDS, Mutation
+from repro.evolve.series import SnapshotRecord, SnapshotSeries
+
+__all__ = [
+    "EvolutionModel",
+    "EvolutionRates",
+    "EvolutionStep",
+    "MUTATION_KINDS",
+    "Mutation",
+    "SnapshotRecord",
+    "SnapshotSeries",
+]

@@ -1,0 +1,53 @@
+"""Mutation events: what changed between two snapshots, and why.
+
+Each :class:`Mutation` records one seeded decision the
+:class:`~repro.evolve.model.EvolutionModel` took for one country.  They
+are pure provenance — applying a mutation happens entirely through the
+derived :class:`~repro.datagen.config.CountryOverride`; the event
+objects exist so manifests, reports and tests can say *which* countries
+changed in a step and *how* without diffing configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: The modeled kinds of year-over-year change, in the order the model
+#: considers them for each country.
+MUTATION_KINDS = (
+    "provider-gain",        # a Global provider wins the country's sites
+    "provider-loss",        # a Global provider loses them again
+    "hyperscaler-migration",  # domestic sites move onto hyperscalers
+    "new-soe",              # a new state-owned enterprise network appears
+    "prefix-reregistration",  # the country's address space re-registers
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Mutation:
+    """One seeded change applied to one country in one evolution step."""
+
+    country: str
+    kind: str
+    #: Kind-specific payload: the provider key and tilt factor for
+    #: provider moves, the shift delta for migrations, the new SOE or
+    #: epoch count otherwise.  Values are JSON-ready scalars.
+    detail: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"unknown mutation kind {self.kind!r}; expected one of "
+                f"{', '.join(MUTATION_KINDS)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering for manifests and series reports."""
+        return {
+            "country": self.country,
+            "kind": self.kind,
+            "detail": {key: value for key, value in self.detail},
+        }
+
+
+__all__ = ["MUTATION_KINDS", "Mutation"]

@@ -1,0 +1,246 @@
+"""The snapshot-series runner: N worlds, one cache, incremental scans.
+
+:class:`SnapshotSeries` drives ``Pipeline.run`` once per snapshot over
+a shared :class:`~repro.cache.ScanCache`.  Snapshot 0 measures the base
+configuration; each later snapshot's configuration is derived by the
+:class:`~repro.evolve.model.EvolutionModel` from its predecessor.
+Because unchanged countries keep their cache keys, every incremental
+snapshot re-scans exactly the countries its evolution step touched —
+the runner *asserts* this (``verify_hit_rates``): a snapshot whose
+misses are not exactly its changed countries means the hermeticity
+contract broke, which is a bug, not a degradation.
+
+Each snapshot's accounting is a fresh
+:class:`~repro.cache.CacheStats` (the shared cache's cumulative stats
+are preserved in :attr:`SnapshotSeries.total_stats`), and when
+observability is on the per-snapshot hit rate is exported as a gauge.
+With ``collect_manifests`` the runner emits one
+:class:`~repro.obs.RunManifest` per snapshot whose ``evolution`` block
+chains it to its parent: the parent's run fingerprint, the mutation
+seed, the step number and the changed-country list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.cache import CacheStats, ScanCache, run_fingerprint
+from repro.core.pipeline import DEFAULT_MAX_DEPTH, Pipeline
+from repro.datagen.config import WorldConfig
+from repro.datagen.generator import SyntheticWorld
+from repro.evolve.model import EvolutionModel, EvolutionRates
+from repro.evolve.mutations import Mutation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dataset import GovernmentHostingDataset
+    from repro.exec import ExecutionStrategy
+    from repro.obs import Observability, RunManifest
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass
+class SnapshotRecord:
+    """One measured snapshot of a series."""
+
+    #: Position in the series (0 = the base snapshot).
+    step: int
+    #: Display label ("T+0", "T+1", ...).
+    label: str
+    #: The configuration this snapshot measured.
+    config: WorldConfig
+    #: The measured dataset.
+    dataset: "GovernmentHostingDataset"
+    #: Run fingerprint of this snapshot (manifest identity).
+    fingerprint: str
+    #: Cache accounting of this snapshot alone.
+    cache_stats: Optional[CacheStats]
+    #: Mutations the evolution step applied to *reach* this snapshot
+    #: (empty for the base snapshot).
+    mutations: tuple[Mutation, ...]
+    #: Countries the step rewrote (sorted; empty for the base).
+    changed_countries: tuple[str, ...]
+    #: The previous snapshot's fingerprint (None for the base).
+    parent_fingerprint: Optional[str]
+    #: Provenance manifest, when the series collects them.
+    manifest: Optional["RunManifest"] = None
+
+    @property
+    def expected_hit_rate(self) -> Optional[float]:
+        """Unchanged-country fraction (None for the base snapshot)."""
+        if self.parent_fingerprint is None:
+            return None
+        total = len(self.config.country_codes())
+        if total == 0:
+            return 0.0
+        return (total - len(self.changed_countries)) / total
+
+
+class SeriesIntegrityError(RuntimeError):
+    """An incremental snapshot's cache behavior broke the contract."""
+
+
+class SnapshotSeries:
+    """Run a longitudinal series of snapshots incrementally."""
+
+    def __init__(
+        self,
+        base_config: WorldConfig,
+        snapshots: int,
+        *,
+        evolution_seed: int = 1,
+        rates: Optional[EvolutionRates] = None,
+        cache: Optional[Union[ScanCache, str]] = None,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        executor: Optional["ExecutionStrategy"] = None,
+        obs: Optional["Observability"] = None,
+        collect_manifests: bool = False,
+        verify_hit_rates: bool = True,
+    ) -> None:
+        if snapshots < 1:
+            raise ValueError(f"snapshots must be >= 1, got {snapshots}")
+        self.base_config = base_config
+        self.snapshots = snapshots
+        self.model = EvolutionModel(evolution_seed, rates)
+        self.cache = ScanCache(cache) if isinstance(cache, str) else cache
+        self.max_depth = max_depth
+        self.executor = executor
+        self.obs = obs
+        self.collect_manifests = collect_manifests
+        self.verify_hit_rates = verify_hit_rates
+        #: Aggregated cache accounting across every snapshot run so far.
+        self.total_stats = CacheStats()
+
+    def run(self) -> list[SnapshotRecord]:
+        """Measure every snapshot; returns the records in series order."""
+        records: list[SnapshotRecord] = []
+        config = self.base_config
+        parent_fingerprint: Optional[str] = None
+        mutations: tuple[Mutation, ...] = ()
+        for step in range(self.snapshots):
+            record = self._run_snapshot(
+                step, config, mutations, parent_fingerprint
+            )
+            records.append(record)
+            parent_fingerprint = record.fingerprint
+            if step + 1 < self.snapshots:
+                evolution = self.model.evolve(config, step + 1)
+                config = evolution.config
+                mutations = evolution.mutations
+        return records
+
+    # --------------------------------------------------------- internals
+
+    def _run_snapshot(
+        self,
+        step: int,
+        config: WorldConfig,
+        mutations: tuple[Mutation, ...],
+        parent_fingerprint: Optional[str],
+    ) -> SnapshotRecord:
+        world = SyntheticWorld.generate(config)
+        pipeline = Pipeline(world, max_depth=self.max_depth, obs=self.obs)
+        snapshot_stats: Optional[CacheStats] = None
+        if self.cache is not None:
+            # Fresh per-snapshot accounting; the cumulative view lives
+            # in total_stats.
+            self.cache.stats = CacheStats()
+        dataset = pipeline.run(executor=self.executor, cache=self.cache)
+        if self.cache is not None:
+            snapshot_stats = self.cache.stats
+            self._accumulate(snapshot_stats)
+        changed = tuple(sorted({m.country for m in mutations}))
+        record = SnapshotRecord(
+            step=step,
+            label=f"T+{step}",
+            config=config,
+            dataset=dataset,
+            fingerprint=run_fingerprint(
+                config, pipeline.crawler.max_depth, pipeline.fault_plan
+            ),
+            cache_stats=snapshot_stats,
+            mutations=mutations,
+            changed_countries=changed,
+            parent_fingerprint=parent_fingerprint,
+        )
+        self._observe(record)
+        if (self.verify_hit_rates and snapshot_stats is not None
+                and parent_fingerprint is not None):
+            self._verify(record, snapshot_stats)
+        if self.collect_manifests:
+            from repro.obs import RunManifest
+
+            record.manifest = RunManifest.collect(
+                pipeline, dataset, executor=self.executor,
+                cache=self.cache, obs=self.obs,
+                evolution=self.evolution_provenance(record),
+            )
+        return record
+
+    def evolution_provenance(self, record: SnapshotRecord) -> Optional[dict]:
+        """The manifest ``evolution`` block chaining ``record`` to its
+        parent (None for the base snapshot — it was not evolved)."""
+        if record.parent_fingerprint is None:
+            return None
+        return {
+            "parent_fingerprint": record.parent_fingerprint,
+            "seed": self.model.seed,
+            "step": record.step,
+            "changed_countries": list(record.changed_countries),
+            "mutations": [m.to_dict() for m in record.mutations],
+        }
+
+    def _accumulate(self, stats: CacheStats) -> None:
+        total = self.total_stats
+        total.hits += stats.hits
+        total.misses += stats.misses
+        total.stores += stats.stores
+        total.evicted += stats.evicted
+        total.bytes_read += stats.bytes_read
+        total.bytes_written += stats.bytes_written
+        total.time_saved_s += stats.time_saved_s
+
+    def _observe(self, record: SnapshotRecord) -> None:
+        if self.obs is None or record.cache_stats is None:
+            return
+        metrics = self.obs.metrics
+        prefix = f"evolve.snapshot.{record.step}"
+        metrics.gauge(f"{prefix}.hit_rate", record.cache_stats.hit_rate)
+        metrics.gauge(f"{prefix}.changed_countries",
+                      len(record.changed_countries))
+        expected = record.expected_hit_rate
+        if expected is not None:
+            metrics.gauge(f"{prefix}.expected_hit_rate", expected)
+
+    def _verify(self, record: SnapshotRecord, stats: CacheStats) -> None:
+        """Incremental contract: misses are exactly the changed countries.
+
+        Only binding when the parent snapshot populated the same cache
+        (which :meth:`run` guarantees); a mismatch means a supposedly
+        untouched country's key or bytes moved — a hermeticity bug.
+        """
+        expected_misses = len(record.changed_countries)
+        total = len(record.config.country_codes())
+        if stats.misses != expected_misses or \
+                stats.hits != total - expected_misses:
+            raise SeriesIntegrityError(
+                f"snapshot {record.label}: expected "
+                f"{total - expected_misses} hits / {expected_misses} misses "
+                f"(changed: {', '.join(record.changed_countries) or 'none'}) "
+                f"but observed {stats.hits} hits / {stats.misses} misses — "
+                "the per-country hermeticity contract is broken"
+            )
+        logger.info(
+            "snapshot %s: %s (expected hit rate %.0f%%)",
+            record.label, stats.summary(),
+            100.0 * (record.expected_hit_rate or 0.0),
+        )
+
+
+__all__ = [
+    "SeriesIntegrityError",
+    "SnapshotRecord",
+    "SnapshotSeries",
+]

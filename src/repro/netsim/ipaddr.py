@@ -69,31 +69,69 @@ class Prefix:
         return f"{format_ip(self.base)}/{self.length}"
 
 
-class PrefixPool:
-    """Sequentially hands out non-overlapping /24 prefixes.
+#: /24 blocks reserved per allocation scope (a scope is one customer
+#: country of the generator).  Scoping makes the numbering plan
+#: *hermetic*: the prefixes one country's deployments receive are a pure
+#: function of that country's own allocation order, never of how many
+#: blocks other countries consumed first.
+SCOPE_BLOCKS = 1 << 17
 
-    The pool starts at 1.0.0.0 and walks upward; this is a synthetic
-    numbering plan, not a claim about real allocations.
+#: /24 blocks per registration epoch within a scope.  Bumping a scope's
+#: epoch (the "prefixes re-register" evolution event) moves all of its
+#: future allocations to a fresh, disjoint block range.
+EPOCH_BLOCKS = 1 << 12
+
+
+class PrefixPool:
+    """Hands out non-overlapping /24 prefixes from scoped block ranges.
+
+    The pool starts at 1.0.0.0 and walks upward within each scope's
+    reserved range; this is a synthetic numbering plan, not a claim
+    about real allocations.  Scope 0, epoch 0 (the defaults) preserve
+    the historical globally-sequential behavior.
     """
 
     FIRST_BLOCK = 1 << 24  # 1.0.0.0
     LAST_BLOCK = (223 << 24)  # stay within unicast space
 
-    def __init__(self) -> None:
-        self._next_block = self.FIRST_BLOCK
+    #: Highest usable scope index given the reserved range size.
+    MAX_SCOPES = ((LAST_BLOCK - FIRST_BLOCK) >> 8) // SCOPE_BLOCKS
 
-    def allocate(self) -> Prefix:
-        """Allocate the next free /24."""
-        if self._next_block >= self.LAST_BLOCK:
+    def __init__(self) -> None:
+        self._counters: dict[tuple[int, int], int] = {}
+        self._allocated = 0
+
+    def allocate(self, scope: int = 0, epoch: int = 0) -> Prefix:
+        """Allocate the next free /24 of ``(scope, epoch)``."""
+        if not 0 <= scope < self.MAX_SCOPES:
+            raise ValueError(f"scope {scope} outside the numbering plan")
+        if not 0 <= epoch < SCOPE_BLOCKS // EPOCH_BLOCKS:
+            raise ValueError(f"epoch {epoch} outside scope {scope}")
+        key = (scope, epoch)
+        counter = self._counters.get(key, 0)
+        if counter >= EPOCH_BLOCKS:
+            raise RuntimeError(
+                f"scope {scope} epoch {epoch} exhausted its block range"
+            )
+        block_index = scope * SCOPE_BLOCKS + epoch * EPOCH_BLOCKS + counter
+        base = self.FIRST_BLOCK + (block_index << 8)
+        if base >= self.LAST_BLOCK:
             raise RuntimeError("synthetic address space exhausted")
-        prefix = Prefix(self._next_block, 24)
-        self._next_block += 1 << 8
-        return prefix
+        self._counters[key] = counter + 1
+        self._allocated += 1
+        return Prefix(base, 24)
 
     @property
     def allocated_count(self) -> int:
         """Number of /24 blocks handed out so far."""
-        return (self._next_block - self.FIRST_BLOCK) >> 8
+        return self._allocated
 
 
-__all__ = ["format_ip", "parse_ip", "Prefix", "PrefixPool"]
+__all__ = [
+    "EPOCH_BLOCKS",
+    "SCOPE_BLOCKS",
+    "format_ip",
+    "parse_ip",
+    "Prefix",
+    "PrefixPool",
+]

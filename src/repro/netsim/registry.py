@@ -51,7 +51,9 @@ class IpRegistry:
     def __init__(self) -> None:
         self._pool = PrefixPool()
         self._entries: dict[int, RegistryEntry] = {}  # keyed by /24 block base
-        self._allocations: dict[tuple[int, str, str], _Allocation] = {}
+        self._allocations: dict[
+            tuple[int, int, int, str, str], _Allocation
+        ] = {}
         self._pop_by_block: dict[int, PoP] = {}
         self._ases: dict[int, AutonomousSystem] = {}
 
@@ -70,21 +72,30 @@ class IpRegistry:
         """All registered ASes."""
         return iter(self._ases.values())
 
-    def allocate_address(self, autonomous_system: AutonomousSystem, pop: PoP) -> int:
+    def allocate_address(
+        self,
+        autonomous_system: AutonomousSystem,
+        pop: PoP,
+        scope: int = 0,
+        epoch: int = 0,
+    ) -> int:
         """Hand out a fresh address for an AS at a specific PoP.
 
         A new /24 is allocated transparently when the current one for the
-        (AS, PoP) pair fills up.
+        (scope, epoch, AS, PoP) tuple fills up.  ``scope`` isolates one
+        customer country's allocations from every other's (see
+        :class:`~repro.netsim.ipaddr.PrefixPool`); ``epoch`` moves a
+        scope to a fresh block range when its prefixes re-register.
         """
         if autonomous_system.asn not in self._ases:
             self.register_as(autonomous_system)
-        key = (autonomous_system.asn, pop.country, pop.city)
+        key = (scope, epoch, autonomous_system.asn, pop.country, pop.city)
         allocation = self._allocations.get(key)
         if allocation is not None:
             address = allocation.take_address()
             if address is not None:
                 return address
-        prefix = self._pool.allocate()
+        prefix = self._pool.allocate(scope, epoch)
         self._entries[prefix.base] = RegistryEntry(
             prefix=prefix,
             asn=autonomous_system.asn,

@@ -80,6 +80,13 @@ class RunManifest:
     versions: dict[str, str] = dataclasses.field(
         default_factory=_library_versions
     )
+    #: Snapshot-chain provenance for evolved runs: the parent
+    #: snapshot's fingerprint, the mutation seed, the step number and
+    #: the changed-country list (see :mod:`repro.evolve`).  None for
+    #: standalone runs; readers on the old layout ignore it
+    #: (:meth:`from_dict` filters unknown keys), so the format version
+    #: stays 1.
+    evolution: Optional[dict] = None
     format: int = MANIFEST_FORMAT_VERSION
 
     # ----------------------------------------------------------- assembly
@@ -92,6 +99,7 @@ class RunManifest:
         executor: Optional["ExecutionStrategy"] = None,
         cache: Optional["ScanCache"] = None,
         obs: Optional["Observability"] = None,
+        evolution: Optional[dict] = None,
     ) -> "RunManifest":
         """Assemble the manifest for one completed ``Pipeline.run``."""
         from repro.cache.fingerprint import run_fingerprint
@@ -134,6 +142,7 @@ class RunManifest:
                 "recovered": fault_total.recovered,
                 "degraded": fault_total.degraded,
             },
+            evolution=dict(evolution) if evolution is not None else None,
         )
 
     # -------------------------------------------------------- persistence

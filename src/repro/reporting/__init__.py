@@ -8,12 +8,17 @@ from repro.reporting.figures import (
     render_region_table,
 )
 from repro.reporting.paper_report import render_paper_report
-from repro.reporting.sections import SECTION_NAMES, render_report_section
+from repro.reporting.sections import (
+    SECTION_NAMES,
+    render_report_section,
+    render_trend_report,
+)
 from repro.reporting.obs import render_run_summary
 
 __all__ = [
     "SECTION_NAMES",
     "render_report_section",
+    "render_trend_report",
     "render_table",
     "format_fraction",
     "render_fault_report",

@@ -15,7 +15,7 @@ from repro.reporting.tables import render_table
 
 #: Section names accepted by the CLI and the ``/v1/report`` endpoint.
 SECTION_NAMES = ("summary", "global", "regional", "domestic", "providers",
-                 "diversification", "full")
+                 "diversification", "trends", "full")
 
 
 def _summary_section(index) -> str:
@@ -85,6 +85,48 @@ def _diversification_section(index) -> str:
                         title="Diversification (Figure 11)")
 
 
+def render_trend_report(report) -> str:
+    """Render a :class:`~repro.analysis.longitudinal.TrendReport`.
+
+    Shared by ``repro-gov evolve``, the ``trends`` report section and
+    anything else that wants the longitudinal tables as text.
+    """
+    sections = [render_table(
+        ["snapshot", "countries", "3P share", "mean HHI", "providers",
+         "links", "top share"],
+        [[point.label, point.countries,
+          f"{point.mean_third_party_share:.3f}", f"{point.mean_hhi:.3f}",
+          point.provider_count, point.provider_relationships,
+          f"{point.top_provider_share:.3f}"]
+         for point in report.points],
+        title="Longitudinal trends",
+    )]
+    if report.snapshot_count > 1:
+        sections.append(
+            f"drift over {report.snapshot_count} snapshots: "
+            f"mean HHI {report.hhi_drift:+.4f}, "
+            f"third-party share {report.third_party_drift:+.4f}"
+        )
+    if report.migrations:
+        sections.append(render_table(
+            ["country", "between", "from", "to"],
+            [[m.country, f"{m.from_label}->{m.to_label}",
+              m.from_category, m.to_category]
+             for m in report.migrations],
+            title="Dominant-category migrations",
+        ))
+    return "\n\n".join(sections)
+
+
+def _trends_section(index) -> str:
+    # One dataset is the degenerate single-snapshot series -- the same
+    # tables a SnapshotSeries run prints, with no drift row.  Service
+    # instances holding real history override this via their own series.
+    from repro.analysis.longitudinal import compute_trends
+
+    return render_trend_report(compute_trends([index]))
+
+
 def _full_section(index) -> str:
     from repro.reporting.paper_report import render_paper_report
 
@@ -98,6 +140,7 @@ _RENDERERS = {
     "domestic": _domestic_section,
     "providers": _providers_section,
     "diversification": _diversification_section,
+    "trends": _trends_section,
     "full": _full_section,
 }
 
@@ -118,4 +161,4 @@ def render_report_section(dataset: DatasetOrIndex, section: str) -> str:
     return renderer(ensure_index(dataset))
 
 
-__all__ = ["SECTION_NAMES", "render_report_section"]
+__all__ = ["SECTION_NAMES", "render_report_section", "render_trend_report"]

@@ -168,6 +168,22 @@ class ProvidersRequest:
 
 
 @dataclasses.dataclass(frozen=True)
+class TrendsRequest:
+    """Longitudinal trend curves over the service's snapshot series.
+
+    ``country`` (optional) restricts the per-country series to one
+    country; the aggregate curves are always included.
+    """
+
+    country: Optional[str] = None
+
+    @classmethod
+    def from_mapping(cls, data: Mapping) -> "TrendsRequest":
+        _reject_unknown_fields(data, ("country",))
+        return cls(country=_string(data, "country"))
+
+
+@dataclasses.dataclass(frozen=True)
 class ReportRequest:
     """One named report fragment, byte-identical to the batch path."""
 
@@ -270,8 +286,26 @@ class ReportResponse:
         return {"section": self.section, "text": self.text}
 
 
+@dataclasses.dataclass(frozen=True)
+class TrendsResponse:
+    """The trend report, optionally filtered to one country's series."""
+
+    snapshot_count: int
+    country: Optional[str]
+    report: Mapping
+
+    def to_dict(self) -> dict:
+        payload = {
+            "snapshot_count": self.snapshot_count,
+            "report": dict(self.report),
+        }
+        if self.country is not None:
+            payload["country"] = self.country
+        return payload
+
+
 Request = Union[SummaryRequest, CategoryMixRequest, CrossborderRequest,
-                ProvidersRequest, ReportRequest]
+                ProvidersRequest, ReportRequest, TrendsRequest]
 
 #: Endpoint name -> request schema, the service/gateway dispatch table.
 QUERY_ENDPOINTS: dict[str, type] = {
@@ -280,6 +314,7 @@ QUERY_ENDPOINTS: dict[str, type] = {
     "crossborder": CrossborderRequest,
     "providers": ProvidersRequest,
     "report": ReportRequest,
+    "trends": TrendsRequest,
 }
 
 
@@ -300,5 +335,7 @@ __all__ = [
     "Request",
     "SummaryRequest",
     "SummaryResponse",
+    "TrendsRequest",
+    "TrendsResponse",
     "WEIGHTING_CHOICES",
 ]

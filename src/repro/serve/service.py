@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.analysis.engine import ensure_index
 from repro.core.dataset import GovernmentHostingDataset
@@ -40,6 +40,8 @@ from repro.serve.schemas import (
     ReportResponse,
     SummaryRequest,
     SummaryResponse,
+    TrendsRequest,
+    TrendsResponse,
 )
 
 
@@ -55,6 +57,8 @@ class DatasetService:
 
     def __init__(self, source: Union[GovernmentHostingDataset,
                                      LoadedDataset], *,
+                 history: Sequence[Union[GovernmentHostingDataset,
+                                         LoadedDataset]] = (),
                  metrics: Optional[ServiceMetrics] = None) -> None:
         if isinstance(source, LoadedDataset):
             self._loaded: Optional[LoadedDataset] = source
@@ -63,9 +67,28 @@ class DatasetService:
             self._loaded = None
             dataset = source
         self._dataset = dataset
+        #: Earlier snapshots of the same series, oldest first; the
+        #: served dataset is the latest.  The ``trends`` endpoint
+        #: computes its curves over ``history + [dataset]`` (a single
+        #: snapshot yields the degenerate one-point report).
+        self._history: tuple[LoadedDataset, ...] = tuple(
+            item for item in history if isinstance(item, LoadedDataset)
+        )
+        self._history_datasets: tuple[GovernmentHostingDataset, ...] = tuple(
+            item.dataset if isinstance(item, LoadedDataset) else item
+            for item in history
+        )
+        self._trend_report = None
+        self._trend_lock = threading.Lock()
         self._index = ensure_index(dataset)
         self._index.summary()  # warm the hot table up front
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Per-basis FlowEntry renderings of the index's sorted flow
+        #: table, built once under the lock -- the /v1/crossborder tail
+        #: came from every first-hit-per-thread re-sorting and
+        #: re-wrapping the whole table.
+        self._flow_entries: dict[str, tuple[FlowEntry, ...]] = {}
+        self._flow_lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
 
@@ -110,6 +133,8 @@ class DatasetService:
             return self.providers(request)
         if isinstance(request, ReportRequest):
             return self.report(request)
+        if isinstance(request, TrendsRequest):
+            return self.trends(request)
         raise AssertionError(f"unhandled request {request!r}")
 
     def summary(self, request: SummaryRequest) -> SummaryResponse:
@@ -143,19 +168,39 @@ class DatasetService:
 
     def crossborder(self, request: CrossborderRequest
                     ) -> CrossborderResponse:
-        from repro.analysis.crossborder import flows
-
         sources = tuple(self._known_country(code, field="sources")
                         for code in request.sources)
-        wanted = set(sources)
-        entries = tuple(
-            FlowEntry(source=flow.source, destination=flow.destination,
-                      url_count=flow.url_count, byte_count=flow.byte_count)
-            for flow in flows(self._index, request.basis)
-            if not wanted or flow.source in wanted
-        )
+        entries = self._flow_table(request.basis)
+        if sources:
+            # The table is sorted by source, so a source set is a
+            # concatenation of contiguous slices -- walking unique
+            # sources in order preserves the full-table ordering the
+            # filtering path produced.
+            slices = self._index.crossborder_flow_slices(request.basis)
+            parts = []
+            for source in sorted(set(sources)):
+                span = slices.get(source)
+                if span is not None:
+                    parts.append(entries[span[0]:span[1]])
+            entries = tuple(entry for part in parts for entry in part)
         return CrossborderResponse(basis=request.basis, sources=sources,
                                    flows=entries)
+
+    def _flow_table(self, basis: str) -> tuple[FlowEntry, ...]:
+        """The full FlowEntry rendering of ``basis``, built at most once."""
+        entries = self._flow_entries.get(basis)
+        if entries is None:
+            with self._flow_lock:
+                entries = self._flow_entries.get(basis)
+                if entries is None:
+                    entries = tuple(
+                        FlowEntry(source=s, destination=d,
+                                  url_count=u, byte_count=b)
+                        for s, d, u, b
+                        in self._index.crossborder_flow_table(basis)
+                    )
+                    self._flow_entries[basis] = entries
+        return entries
 
     def providers(self, request: ProvidersRequest) -> ProvidersResponse:
         from repro.analysis.providers import global_provider_footprints
@@ -176,6 +221,50 @@ class DatasetService:
             text=render_report_section(self._index, request.section),
         )
 
+    def trends(self, request: TrendsRequest) -> TrendsResponse:
+        report = self._trends()
+        payload = report.to_dict()
+        country = None
+        if request.country is not None:
+            country = request.country.upper()
+            if country not in report.third_party_series:
+                raise RequestError(
+                    "unknown-country",
+                    f"country {request.country!r} has no measurements "
+                    "in this series",
+                    field="country", status=404,
+                )
+            payload["hhi_series"] = {
+                country: payload["hhi_series"][country]
+            }
+            payload["third_party_series"] = {
+                country: payload["third_party_series"][country]
+            }
+            payload["migrations"] = [
+                migration for migration in payload["migrations"]
+                if migration["country"] == country
+            ]
+        return TrendsResponse(
+            snapshot_count=report.snapshot_count,
+            country=country,
+            report=payload,
+        )
+
+    def _trends(self):
+        """The series' TrendReport, computed at most once."""
+        report = self._trend_report
+        if report is None:
+            with self._trend_lock:
+                report = self._trend_report
+                if report is None:
+                    from repro.analysis.longitudinal import compute_trends
+
+                    snapshots = list(self._history_datasets)
+                    snapshots.append(self._index)
+                    report = compute_trends(snapshots)
+                    self._trend_report = report
+        return report
+
     # ------------------------------------------------------------ health
 
     def healthz(self) -> dict:
@@ -186,6 +275,8 @@ class DatasetService:
             "records": self._index.record_count,
             "inflight": self.metrics.inflight(),
         }
+        if self._history_datasets:
+            payload["snapshots"] = len(self._history_datasets) + 1
         if self._loaded is not None:
             payload["dataset"] = str(self._loaded.path)
             payload["kind"] = self._loaded.kind
@@ -202,6 +293,8 @@ class DatasetService:
             self._closed = True
             if self._loaded is not None:
                 self._loaded.close()
+            for loaded in self._history:
+                loaded.close()
 
     def __enter__(self) -> "DatasetService":
         return self

@@ -192,6 +192,8 @@ class StoreBackedIndex(AnalysisIndex):
         self._spans = []
         self._span_by_code = {}
         self._crossborder_tables = {}
+        self._crossborder_flow_tables = {}
+        self._crossborder_flow_slices = {}
         cursor = 0
         for code in store.countries:
             count = store.shard(code).record_count

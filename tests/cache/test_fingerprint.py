@@ -7,7 +7,13 @@ import dataclasses
 import pytest
 
 from repro import WorldConfig
-from repro.cache import country_key, run_fingerprint, scan_key
+from repro.cache import (
+    country_key,
+    country_slice_fingerprint,
+    global_fingerprint,
+    scan_key,
+)
+from repro.datagen.config import CountryOverride
 from repro.faults.plan import FaultPlan
 
 
@@ -47,14 +53,23 @@ def test_explicit_derived_fault_seed_equals_none():
     [
         {"seed": 43},
         {"scale": 0.06},
-        {"countries": ("BR", "US")},
         {"fault_rate": 0.25},
         {"fault_seed": 9},
     ],
 )
-def test_any_config_field_change_invalidates(change):
+def test_any_global_field_change_invalidates(change):
     base = WorldConfig(seed=42, scale=0.05, fault_rate=0.1)
     assert _key(base) != _key(dataclasses.replace(base, **change))
+
+
+def test_country_selection_does_not_invalidate():
+    # The generator is per-country hermetic: which *other* countries are
+    # in the sample never changes a country's scan, so the selection is
+    # deliberately excluded from the key (incremental snapshots depend
+    # on this when the evolution model adds a country mid-series).
+    base = WorldConfig(seed=42, scale=0.05)
+    subset = dataclasses.replace(base, countries=("BR", "US"))
+    assert _key(base) == _key(subset)
 
 
 def test_max_depth_change_invalidates():
@@ -74,8 +89,66 @@ def test_custom_fault_plan_fingerprints_its_fields():
     assert scan_key(config, "BR", 7, plan) != scan_key(config, "BR", 7, bumped)
 
 
-def test_country_key_composes_run_fingerprint():
+def test_country_key_composes_global_fingerprint():
     config = WorldConfig(seed=42, scale=0.05)
     plan = FaultPlan.from_config(config)
-    run_fp = run_fingerprint(config, 7, plan)
-    assert scan_key(config, "BR", 7, plan) == country_key(run_fp, "BR")
+    global_fp = global_fingerprint(config, 7, plan)
+    slice_fp = country_slice_fingerprint(config, "BR")
+    assert scan_key(config, "BR", 7, plan) == country_key(
+        global_fp, "BR", slice_fp
+    )
+
+
+# ------------------------------------------------ per-country key stability
+
+def _with_override(base: WorldConfig, override: CountryOverride) -> WorldConfig:
+    return dataclasses.replace(base, country_overrides=(override,))
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        CountryOverride(country="BR", extra_soes=1),
+        CountryOverride(country="BR", hyperscaler_shift=0.05),
+        CountryOverride(country="BR", prefix_epoch=2),
+        CountryOverride(country="BR", provider_tilt=(("amazon", 1.4),)),
+    ],
+)
+def test_override_rekeys_only_its_country(override):
+    """The incremental hit-rate guarantee: mutating one country's world
+    slice changes that country's BLAKE2 key and nobody else's."""
+    base = WorldConfig(seed=42, scale=0.05)
+    mutated = _with_override(base, override)
+    assert _key(base, "BR") != _key(mutated, "BR")
+    for other in ("US", "FR", "DE"):
+        assert _key(base, other) == _key(mutated, other)
+
+
+def test_default_override_is_a_fingerprint_noop():
+    base = WorldConfig(seed=42, scale=0.05)
+    noop = _with_override(base, CountryOverride(country="BR"))
+    assert _key(base, "BR") == _key(noop, "BR")
+
+
+def test_override_spelling_normalized():
+    lower = _with_override(
+        WorldConfig(seed=42, scale=0.05),
+        CountryOverride(country="br", extra_soes=1),
+    )
+    upper = _with_override(
+        WorldConfig(seed=42, scale=0.05),
+        CountryOverride(country="BR", extra_soes=1),
+    )
+    assert _key(lower, "BR") == _key(upper, "BR")
+
+
+def test_global_fingerprint_ignores_overrides_and_selection():
+    base = WorldConfig(seed=42, scale=0.05)
+    mutated = dataclasses.replace(
+        base,
+        countries=("BR", "US"),
+        country_overrides=(CountryOverride(country="BR", extra_soes=2),),
+    )
+    plan = FaultPlan.from_config(base)
+    assert global_fingerprint(base, 7, plan) == \
+        global_fingerprint(mutated, 7, plan)

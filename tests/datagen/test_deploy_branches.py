@@ -23,6 +23,9 @@ def generator():
 
     for code in ("BR", "DE"):
         gen._build_country_ases(get_country(code), get_profile(code))
+    # Deployments always happen inside a customer-country scope (set by
+    # _build_country); these unit tests deploy for BR directly.
+    gen._scope_code = "BR"
     return gen
 
 

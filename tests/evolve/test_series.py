@@ -1,0 +1,147 @@
+"""SnapshotSeries: incremental hit rates, byte identity, manifest chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.evolve import EvolutionRates, SnapshotSeries
+from repro.evolve.series import SeriesIntegrityError
+
+CODES = ("BR", "US", "FR", "DE", "JP", "IN", "ZA", "MX")
+
+
+def _base_config() -> WorldConfig:
+    return WorldConfig(seed=42, scale=0.05, countries=CODES)
+
+
+@pytest.fixture(scope="module")
+def series_records(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("series-cache")
+    series = SnapshotSeries(
+        _base_config(), 3, evolution_seed=11,
+        cache=str(cache_dir), collect_manifests=True,
+    )
+    return series, series.run()
+
+
+def test_series_shape(series_records):
+    _, records = series_records
+    assert [record.label for record in records] == ["T+0", "T+1", "T+2"]
+    assert records[0].changed_countries == ()
+    assert records[0].parent_fingerprint is None
+
+
+def test_incremental_hit_rate_matches_unchanged_fraction(series_records):
+    """The headline guarantee: hit rate == unchanged / total, exactly."""
+    _, records = series_records
+    total = len(CODES)
+    assert records[0].cache_stats.misses == total  # cold base
+    for record in records[1:]:
+        changed = len(record.changed_countries)
+        assert 0 < changed < total, "seed 11 should change some, not all"
+        assert record.cache_stats.misses == changed
+        assert record.cache_stats.hits == total - changed
+        assert record.cache_stats.hit_rate == pytest.approx(
+            record.expected_hit_rate
+        )
+
+
+def test_total_stats_accumulate(series_records):
+    series, records = series_records
+    assert series.total_stats.hits == \
+        sum(record.cache_stats.hits for record in records)
+    assert series.total_stats.misses == \
+        sum(record.cache_stats.misses for record in records)
+
+
+def test_manifest_chain(series_records):
+    _, records = series_records
+    assert records[0].manifest.evolution is None
+    for position, record in enumerate(records[1:], start=1):
+        evolution = record.manifest.evolution
+        assert evolution["parent_fingerprint"] == \
+            records[position - 1].fingerprint
+        assert evolution["parent_fingerprint"] == \
+            records[position - 1].manifest.fingerprint
+        assert evolution["seed"] == 11
+        assert evolution["step"] == position
+        assert evolution["changed_countries"] == \
+            list(record.changed_countries)
+
+
+def test_manifest_evolution_round_trips(series_records, tmp_path):
+    from repro.obs import RunManifest
+
+    _, records = series_records
+    path = tmp_path / "snapshot.manifest.json"
+    records[1].manifest.write(path)
+    loaded = RunManifest.read(path)
+    assert loaded.evolution == records[1].manifest.evolution
+
+
+def _dataset_bytes(dataset, tmp_path, name: str) -> bytes:
+    from repro.io import save_dataset
+
+    out = tmp_path / f"{name}.jsonl"
+    save_dataset(dataset, out)
+    return out.read_bytes()
+
+
+def test_incremental_dataset_byte_identical_to_cold_run(series_records,
+                                                        tmp_path):
+    """A warm incremental snapshot equals a cold run of its config."""
+    _, records = series_records
+    evolved_config = records[1].config
+    assert evolved_config != records[0].config
+    cold = Pipeline(SyntheticWorld.generate(evolved_config)).run()
+    assert _dataset_bytes(cold, tmp_path, "cold") == \
+        _dataset_bytes(records[1].dataset, tmp_path, "warm")
+
+
+def test_series_replay_is_deterministic(series_records, tmp_path):
+    _, records = series_records
+    replay = SnapshotSeries(
+        _base_config(), 3, evolution_seed=11,
+        cache=str(tmp_path / "fresh-cache"),
+    ).run()
+    for original, replayed in zip(records, replay):
+        assert replayed.config == original.config
+        assert replayed.fingerprint == original.fingerprint
+        assert _dataset_bytes(replayed.dataset, tmp_path,
+                              f"replay-{replayed.step}") == \
+            _dataset_bytes(original.dataset, tmp_path,
+                           f"orig-{original.step}")
+
+
+def test_no_cache_series_still_runs(tmp_path):
+    records = SnapshotSeries(
+        WorldConfig(seed=7, scale=0.05, countries=("BR", "US")),
+        2, evolution_seed=2,
+    ).run()
+    assert len(records) == 2
+    assert records[0].cache_stats is None
+
+
+def test_integrity_error_on_broken_contract(tmp_path):
+    """Clearing the cache mid-series makes the incremental snapshot miss
+    everything — the runner must refuse to call that incremental."""
+    series = SnapshotSeries(
+        WorldConfig(seed=7, scale=0.05, countries=("BR", "US", "FR")),
+        3, evolution_seed=11, cache=str(tmp_path / "cache"),
+    )
+    original = series._run_snapshot
+
+    def clearing(step, config, mutations, parent_fingerprint):
+        if step == 1:
+            series.cache.clear()
+        return original(step, config, mutations, parent_fingerprint)
+
+    series._run_snapshot = clearing
+    with pytest.raises(SeriesIntegrityError):
+        series.run()
+
+
+def test_snapshot_count_validated():
+    with pytest.raises(ValueError):
+        SnapshotSeries(_base_config(), 0)

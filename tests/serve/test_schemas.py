@@ -85,6 +85,7 @@ def test_every_endpoint_round_trips_a_valid_request():
         "crossborder": {"sources": "BR"},
         "providers": {"top": 3},
         "report": {"section": "summary"},
+        "trends": {"country": "BR"},
     }
     assert set(valid) == set(QUERY_ENDPOINTS)
     for endpoint, payload in valid.items():

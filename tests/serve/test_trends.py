@@ -1,0 +1,132 @@
+"""The trends endpoint (with and without history) and the memoized
+crossborder flow tables that keep its sibling endpoint's tail flat."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.analysis.engine import ensure_index
+from repro.analysis.longitudinal import compute_trends
+from repro.serve import DatasetService, RequestError
+
+from .conftest import http_get
+
+
+@pytest.fixture(scope="module")
+def history_service(tiny_dataset):
+    """tiny_dataset preceded by two earlier snapshots of BR/US/FR."""
+    earlier = [
+        Pipeline(SyntheticWorld.generate(WorldConfig(
+            seed=seed, scale=0.05, countries=("BR", "US", "FR"),
+        ))).run()
+        for seed in (5, 6)
+    ]
+    service = DatasetService(tiny_dataset, history=earlier)
+    yield service
+    service.close()
+
+
+# ------------------------------------------------------------- trends
+
+def test_trends_without_history_is_single_snapshot(service, tiny_dataset):
+    result = service.query("trends", {})
+    assert result["snapshot_count"] == 1
+    expected = compute_trends([tiny_dataset]).to_dict()
+    assert result["report"] == expected
+
+
+def test_trends_with_history_equals_compute_trends(history_service,
+                                                   tiny_dataset):
+    result = history_service.query("trends", {})
+    assert result["snapshot_count"] == 3
+    report = result["report"]
+    assert report["labels"] == ["T+0", "T+1", "T+2"]
+    assert len(report["points"]) == 3
+    assert set(report["hhi_series"]) == {"BR", "US", "FR"}
+    # The last point is the served dataset itself.
+    solo = compute_trends([tiny_dataset]).to_dict()
+    assert report["points"][-1]["mean_hhi"] == \
+        solo["points"][0]["mean_hhi"]
+
+
+def test_trends_country_filter(history_service):
+    result = history_service.query("trends", {"country": "br"})
+    assert result["country"] == "BR"
+    report = result["report"]
+    assert set(report["hhi_series"]) == {"BR"}
+    assert set(report["third_party_series"]) == {"BR"}
+    assert all(m["country"] == "BR" for m in report["migrations"])
+    assert len(report["hhi_series"]["BR"]) == 3
+
+
+def test_trends_unknown_country_404(history_service):
+    with pytest.raises(RequestError) as excinfo:
+        history_service.query("trends", {"country": "XX"})
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown-country"
+
+
+def test_trends_memoized(history_service):
+    assert history_service._trends() is history_service._trends()
+
+
+def test_healthz_reports_snapshots(history_service, service):
+    assert history_service.healthz()["snapshots"] == 3
+    assert "snapshots" not in service.healthz()
+
+
+def test_trends_over_http(base_url):
+    status, body = http_get(f"{base_url}/v1/trends")
+    assert status == 200
+    assert body["snapshot_count"] == 1
+    assert "points" in body["report"]
+
+
+# ----------------------------------------- crossborder flow memoization
+
+@pytest.mark.parametrize("basis", ["server", "registration"])
+def test_flow_table_matches_crossborder_counts(tiny_dataset, basis):
+    index = ensure_index(tiny_dataset)
+    table = index.crossborder_flow_table(basis)
+    counts = index.crossborder_counts(basis)
+    assert len(table) == len(counts)
+    assert list(table) == sorted(
+        (source, destination, urls, byte_count)
+        for (source, destination), (urls, byte_count) in counts.items()
+    )
+
+
+def test_flow_table_memoized(tiny_dataset):
+    index = ensure_index(tiny_dataset)
+    assert index.crossborder_flow_table("server") is \
+        index.crossborder_flow_table("server")
+    assert index.crossborder_flow_slices("server") is \
+        index.crossborder_flow_slices("server")
+
+
+def test_flow_slices_partition_table(tiny_dataset):
+    index = ensure_index(tiny_dataset)
+    table = index.crossborder_flow_table("server")
+    slices = index.crossborder_flow_slices("server")
+    covered = []
+    for source in sorted(slices):
+        start, stop = slices[source]
+        part = table[start:stop]
+        assert part, "every sliced source has at least one flow"
+        assert all(entry[0] == source for entry in part)
+        covered.extend(part)
+    assert covered == list(table)
+
+
+def test_sliced_crossborder_equals_filtered(service, tiny_dataset):
+    """The service's slice-concatenation fast path must answer exactly
+    what a linear filter over all flows would."""
+    everything = service.query("crossborder", {"basis": "server"})
+    for subset in (("BR",), ("BR", "FR"), ("FR", "US", "BR")):
+        fast = service.query("crossborder",
+                             {"sources": ",".join(subset),
+                              "basis": "server"})
+        expected = [flow for flow in everything["flows"]
+                    if flow["source"] in subset]
+        assert fast["flows"] == expected
