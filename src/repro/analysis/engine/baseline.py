@@ -487,17 +487,28 @@ def baseline_single_points_of_failure(
 def baseline_worst_global_outage(
     dataset: GovernmentHostingDataset,
 ) -> tuple[int, int, float]:
-    asns = {record.asn for record in dataset.iter_records()}
+    # First-seen organization per ASN, mirroring the index's
+    # organization_by_asn() so both implementations break exact
+    # (affected, mean_loss) ties on the same (name, asn) order.
+    names: dict[int, str] = {}
+    for record in dataset.iter_records():
+        names.setdefault(record.asn, record.organization)
     worst = (0, 0, 0.0)
-    for asn in asns:
+    worst_tie = ("", 0)
+    for asn in sorted(names):
         impacts = baseline_outage_impact(dataset, asn)
         affected = [i for i in impacts.values() if i.url_share_lost > 0.10]
         if not affected:
             continue
         mean_loss = sum(i.url_share_lost for i in affected) / len(affected)
         candidate = (asn, len(affected), mean_loss)
-        if (candidate[1], candidate[2]) > (worst[1], worst[2]):
+        tie = (names.get(asn, ""), asn)
+        if (candidate[1], candidate[2]) > (worst[1], worst[2]) or (
+            (candidate[1], candidate[2]) == (worst[1], worst[2])
+            and tie < worst_tie
+        ):
             worst = candidate
+            worst_tie = tie
     return worst
 
 

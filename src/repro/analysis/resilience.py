@@ -87,19 +87,31 @@ def worst_global_outage(
 
     Returns ``(asn, governments affected above 10% of URLs, mean URL
     share lost among affected countries)``.
+
+    Deterministic under ties: when two networks disrupt the same number
+    of governments with the same mean loss, the one whose organization
+    name (then ASN) sorts first wins — comparative scenario reports
+    must name the same provider no matter what order the ASNs were
+    encountered in.
     """
     index = ensure_index(dataset)
-    asns = set(index.asn_first_seen())
+    names = index.organization_by_asn()
     worst = (0, 0, 0.0)
-    for asn in asns:
+    worst_tie = ("", 0)
+    for asn in sorted(set(index.asn_first_seen())):
         impacts = outage_impact(index, asn)
         affected = [i for i in impacts.values() if i.url_share_lost > 0.10]
         if not affected:
             continue
         mean_loss = sum(i.url_share_lost for i in affected) / len(affected)
         candidate = (asn, len(affected), mean_loss)
-        if (candidate[1], candidate[2]) > (worst[1], worst[2]):
+        tie = (names.get(asn, ""), asn)
+        if (candidate[1], candidate[2]) > (worst[1], worst[2]) or (
+            (candidate[1], candidate[2]) == (worst[1], worst[2])
+            and tie < worst_tie
+        ):
             worst = candidate
+            worst_tie = tie
     return worst
 
 

@@ -25,11 +25,18 @@ from repro.cache.fingerprint import (
     run_fingerprint,
     scan_key,
 )
-from repro.cache.store import CacheStats, ScanCache
+from repro.cache.store import (
+    CacheEntryInfo,
+    CacheStats,
+    PruneResult,
+    ScanCache,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CacheEntryInfo",
     "CacheStats",
+    "PruneResult",
     "ScanCache",
     "country_key",
     "country_slice_fingerprint",

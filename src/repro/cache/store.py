@@ -42,6 +42,7 @@ import logging
 import os
 import pathlib
 import pickle
+import time
 import weakref
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -129,6 +130,43 @@ class CacheStats:
             "time_saved_s": round(self.time_saved_s, 6),
             "hit_rate": round(self.hit_rate, 6),
         }
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntryInfo:
+    """On-disk facts about one cache entry (for stats and pruning)."""
+
+    key: str
+    country: str
+    size_bytes: int
+    mtime: float
+    #: Scan cost the entry recorded at store time (0 when unreadable).
+    scan_s: float
+    path: pathlib.Path
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneResult:
+    """What one :meth:`ScanCache.prune` pass did (or would do)."""
+
+    examined: int
+    removed: int
+    removed_bytes: int
+    kept: int
+    kept_bytes: int
+    dry_run: bool
+
+    def summary(self) -> str:
+        """One-line render for the CLI."""
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{verb} {self.removed} of {self.examined} entries "
+            f"({_format_bytes(self.removed_bytes)}), keeping {self.kept} "
+            f"({_format_bytes(self.kept_bytes)})"
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 class ScanCache:
@@ -324,5 +362,122 @@ class ScanCache:
             removed += 1
         return removed
 
+    def inventory(self) -> list[CacheEntryInfo]:
+        """Every entry on disk, sorted oldest-first (then by key).
 
-__all__ = ["CacheStats", "ScanCache", "ENTRY_SUFFIX"]
+        Reads only each entry's stat and header line — never the
+        payload — so inventorying a multi-gigabyte cache stays cheap.
+        Entries whose header no longer parses are still listed (with an
+        unknown country) so pruning can get rid of them.
+        """
+        entries = []
+        for path in self.cache_dir.glob(f"*/*{ENTRY_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key = path.name[:-len(ENTRY_SUFFIX)]
+            country, scan_s = "??", 0.0
+            try:
+                with path.open("rb") as handle:
+                    header = json.loads(handle.readline())
+                country = str(header.get("country", "??"))
+                scan_s = float(header.get("scan_s", 0.0) or 0.0)
+            except (OSError, ValueError, TypeError, UnicodeDecodeError):
+                pass
+            entries.append(CacheEntryInfo(
+                key=key, country=country, size_bytes=stat.st_size,
+                mtime=stat.st_mtime, scan_s=scan_s, path=path,
+            ))
+        entries.sort(key=lambda entry: (entry.mtime, entry.key))
+        return entries
+
+    def usage(self) -> dict:
+        """Aggregate view over :meth:`inventory` (the ``cache stats`` CLI).
+
+        JSON-ready: entry/byte totals, per-country entry counts, age
+        bounds and the total recorded scan time the entries would save.
+        """
+        entries = self.inventory()
+        by_country: dict[str, int] = {}
+        for entry in entries:
+            by_country[entry.country] = by_country.get(entry.country, 0) + 1
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": len(entries),
+            "total_bytes": sum(entry.size_bytes for entry in entries),
+            "countries": dict(sorted(by_country.items())),
+            "oldest_mtime": entries[0].mtime if entries else None,
+            "newest_mtime": entries[-1].mtime if entries else None,
+            "recorded_scan_s": round(
+                sum(entry.scan_s for entry in entries), 6
+            ),
+        }
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        older_than_s: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> PruneResult:
+        """LRU-by-mtime eviction: age out, then shrink to a byte budget.
+
+        ``older_than_s`` drops entries whose mtime lags ``now`` by more
+        than that many seconds; ``max_bytes`` then removes oldest-first
+        until the survivors fit the budget.  mtime approximates
+        recency-of-use well enough here because stores rewrite the file;
+        ties break on the key, so a prune is deterministic given the
+        same on-disk state.  ``dry_run`` reports what would go without
+        unlinking anything.
+        """
+        if max_bytes is None and older_than_s is None:
+            raise ValueError("prune needs max_bytes and/or older_than_s")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if older_than_s is not None and older_than_s < 0:
+            raise ValueError("older_than_s must be non-negative")
+        entries = self.inventory()
+        reference = time.time() if now is None else now
+        doomed: list[CacheEntryInfo] = []
+        kept: list[CacheEntryInfo] = []
+        for entry in entries:
+            if older_than_s is not None and \
+                    reference - entry.mtime > older_than_s:
+                doomed.append(entry)
+            else:
+                kept.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(entry.size_bytes for entry in kept)
+            cut = 0
+            while kept_bytes > max_bytes and cut < len(kept):
+                doomed.append(kept[cut])
+                kept_bytes -= kept[cut].size_bytes
+                cut += 1
+            kept = kept[cut:]
+        removed = removed_bytes = 0
+        for entry in doomed:
+            if not dry_run:
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    continue
+            removed += 1
+            removed_bytes += entry.size_bytes
+        return PruneResult(
+            examined=len(entries),
+            removed=removed,
+            removed_bytes=removed_bytes,
+            kept=len(kept),
+            kept_bytes=sum(entry.size_bytes for entry in kept),
+            dry_run=dry_run,
+        )
+
+
+__all__ = [
+    "CacheEntryInfo",
+    "CacheStats",
+    "PruneResult",
+    "ScanCache",
+    "ENTRY_SUFFIX",
+]

@@ -7,6 +7,9 @@
     repro-gov run --scale 0.05 --out d.jsonl --manifest --trace-out trace.json
     repro-gov run --scale 0.05 --store-dir world.store  # columnar store
     repro-gov evolve --snapshots 4 --cache-dir .scan  # longitudinal series
+    repro-gov sweep --demo --cache-dir .scan         # deduplicated scenarios
+    repro-gov cache stats --cache-dir .scan          # what the cache holds
+    repro-gov cache prune --cache-dir .scan --older-than 7d --max-bytes 500M
     repro-gov report dataset.jsonl                   # analyses over a saved run
     repro-gov report world.store --section full      # same, zero-copy store
     repro-gov convert dataset.jsonl world.store      # jsonl <-> store
@@ -133,6 +136,67 @@ def _build_parser() -> argparse.ArgumentParser:
                              "scans (default: serial)")
     evolve.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker count for parallel executors")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario matrix as one deduplicated scan "
+                      "wave and compare every scenario to the baseline"
+    )
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--scale", type=float, default=0.05,
+                       help="fraction of the paper's dataset size")
+    sweep.add_argument("--countries", nargs="*", metavar="CC",
+                       help="restrict to these country codes")
+    matrix_source = sweep.add_mutually_exclusive_group(required=True)
+    matrix_source.add_argument("--matrix", metavar="PATH",
+                               help="JSON scenario matrix (schema: see "
+                                    "API.md, `repro.scenarios`)")
+    matrix_source.add_argument("--demo", action="store_true",
+                               help="use a built-in matrix exercising all "
+                                    "four axes (vantage, dns faults, "
+                                    "provider outage, evolution)")
+    sweep.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="persistent scan cache shared across the "
+                            "whole sweep (and with `repro-gov run`)")
+    sweep.add_argument("--executor", choices=EXECUTOR_NAMES,
+                       default="serial",
+                       help="execution strategy for the deduplicated "
+                            "scan wave (default: serial)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker count for parallel executors")
+    sweep.add_argument("--out-dir", metavar="PATH", default=None,
+                       help="write each scenario's dataset as "
+                            "<out-dir>/<scenario>.jsonl")
+    sweep.add_argument("--json", dest="json_out", metavar="PATH",
+                       default=None,
+                       help="write the accounting and per-scenario "
+                            "divergences as JSON")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune a persistent scan cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry/byte totals, per-country counts, age bounds"
+    )
+    cache_stats.add_argument("--cache-dir", required=True, metavar="PATH")
+    cache_stats.add_argument("--json", dest="json_out", action="store_true",
+                             help="print the stats as JSON instead of a "
+                                  "table")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="LRU-by-mtime eviction: age out entries and/or "
+                      "shrink the cache to a byte budget"
+    )
+    cache_prune.add_argument("--cache-dir", required=True, metavar="PATH")
+    cache_prune.add_argument("--max-bytes", metavar="SIZE", default=None,
+                             help="keep at most this many bytes, evicting "
+                                  "oldest-first (suffixes K/M/G, e.g. "
+                                  "500M)")
+    cache_prune.add_argument("--older-than", metavar="AGE", default=None,
+                             help="drop entries older than this "
+                                  "(suffixes s/m/h/d, e.g. 7d)")
+    cache_prune.add_argument("--dry-run", action="store_true",
+                             help="report what would be removed without "
+                                  "deleting anything")
 
     report = subparsers.add_parser(
         "report", help="print analyses over a saved dataset "
@@ -293,6 +357,188 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path = manifest.write(manifest_path_for(args.out))
             print(f"wrote manifest to {path}")
     return 0
+
+
+#: Multipliers for the ``cache prune --older-than`` suffixes.
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+#: Multipliers for the ``cache prune --max-bytes`` suffixes (binary).
+_SIZE_UNITS = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def _parse_duration(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"6h"``/``"7d"`` -> seconds."""
+    text = text.strip().lower()
+    multiplier = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        multiplier = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid duration {text!r} (expected a number with an "
+            f"optional s/m/h/d suffix, e.g. 7d)"
+        ) from None
+    if value < 0:
+        raise ValueError("durations must be non-negative")
+    return value * multiplier
+
+
+def _parse_size(text: str) -> int:
+    """``"1048576"``/``"512K"``/``"500M"``/``"2G"`` -> bytes."""
+    text = text.strip().lower()
+    multiplier = 1
+    if text and text[-1] in _SIZE_UNITS:
+        multiplier = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid size {text!r} (expected a number with an optional "
+            f"K/M/G suffix, e.g. 500M)"
+        ) from None
+    if value < 0:
+        raise ValueError("sizes must be non-negative")
+    return int(value * multiplier)
+
+
+def _demo_matrix(config: WorldConfig):
+    """The built-in ``sweep --demo`` matrix: one scenario per axis."""
+    from repro.scenarios import ScenarioMatrix
+
+    matrix = ScenarioMatrix(config)
+    matrix.add_vantage("alt-vantage", countries="all", rank=1)
+    matrix.add_faults("dns-stress", rate=0.3, profile="dns")
+    matrix.add_outage("cloudflare-outage", provider="cloudflare")
+    matrix.add_evolution("evolved-1", steps=1)
+    return matrix
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.reporting.scenarios import render_sweep_report
+    from repro.scenarios import (
+        MatrixError,
+        ScenarioMatrix,
+        SweepRunner,
+        compare_sweep,
+    )
+
+    config = WorldConfig(
+        seed=args.seed, scale=args.scale,
+        countries=args.countries or None,
+    )
+    try:
+        if args.matrix:
+            with open(args.matrix, "r", encoding="utf-8") as handle:
+                matrix = ScenarioMatrix.from_json(handle.read(), base=config)
+        else:
+            matrix = _demo_matrix(config)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except MatrixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache_dir:
+        from repro.cache import ScanCache
+
+        cache = ScanCache(args.cache_dir)
+    executor = make_executor(args.executor, workers=args.workers)
+    try:
+        runner = SweepRunner(matrix, cache=cache, executor=executor)
+        sweep = runner.run()
+    except MatrixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        executor.close()
+    divergences = compare_sweep(sweep)
+    print(render_sweep_report(sweep, divergences))
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
+    if args.out_dir:
+        from repro.io import save_dataset
+
+        out_dir = pathlib.Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in sweep.results:
+            path = out_dir / f"{result.name}.jsonl"
+            written = save_dataset(result.dataset, path)
+            print(f"wrote {written:,} records to {path}")
+    if args.json_out:
+        _write_json(args.json_out, {
+            "accounting": sweep.accounting.to_dict(),
+            "scenarios": [
+                {
+                    "name": result.name,
+                    "kind": result.scenario.kind,
+                    "run_fp": result.run_fp,
+                    "changed_countries": list(result.changed_countries),
+                    "shares_baseline_dataset":
+                        result.shares_baseline_dataset,
+                }
+                for result in sweep.results
+            ],
+            "divergences": [d.to_dict() for d in divergences],
+        })
+        print(f"wrote sweep summary to {args.json_out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ScanCache
+
+    cache = ScanCache(args.cache_dir)
+    if args.cache_command == "stats":
+        usage = cache.usage()
+        if args.json_out:
+            json.dump(usage, sys.stdout, indent=2)
+            print()
+            return 0
+        rows = [
+            ["cache dir", usage["cache_dir"]],
+            ["entries", f"{usage['entries']:,}"],
+            ["total bytes", f"{usage['total_bytes']:,}"],
+            ["countries", str(len(usage["countries"]))],
+            ["recorded scan time", f"{usage['recorded_scan_s']:.1f}s"],
+        ]
+        print(render_table(["field", "value"], rows, title="Scan cache"))
+        if usage["countries"]:
+            per_country = ", ".join(
+                f"{code}:{count}"
+                for code, count in usage["countries"].items()
+            )
+            print(f"entries per country: {per_country}")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes is None and args.older_than is None:
+            print("error: prune needs --max-bytes and/or --older-than",
+                  file=sys.stderr)
+            return 2
+        try:
+            max_bytes = (
+                _parse_size(args.max_bytes)
+                if args.max_bytes is not None else None
+            )
+            older_than_s = (
+                _parse_duration(args.older_than)
+                if args.older_than is not None else None
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = cache.prune(
+            max_bytes=max_bytes, older_than_s=older_than_s,
+            dry_run=args.dry_run,
+        )
+        print(f"cache prune: {result.summary()}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
@@ -543,6 +789,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _configure_logging(args.verbose, args.quiet)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "evolve":
         return _cmd_evolve(args)
     if args.command == "report":

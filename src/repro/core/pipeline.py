@@ -199,8 +199,14 @@ class Pipeline:
         span = obs.span if obs is not None else _null_span
         with span("directory"):
             directory = compile_directory(self.world, code)
+        # The exit rank is part of the country's config slice, so a
+        # vantage-shifted scenario re-keys (and re-scans) only the
+        # countries it moves.
+        rank = self.world.config.vantage_rank_for(code)
         if faults is not None:
-            vantage = faults.select_vantage(self.world.vpn, code)
+            vantage = faults.select_vantage(self.world.vpn, code, rank)
+        elif rank:
+            vantage = self.world.vpn.vantage_at(code, rank)
         else:
             vantage = self.world.vpn.vantage_for(code)
         with span("crawl") as crawl_span:
@@ -409,34 +415,64 @@ class Pipeline:
                 else:
                     partials = strategy.scan(self, codes)
 
-            # Barrier: cross-country reductions, merged deterministically.
-            with phase("merge"):
-                self.categories.ingest(merge_footprints(partials))
-                validation = merge_validation(partials)
-                faults = merge_faults(partials)
-
-            # Phase 2: categorize + record assembly, parallelizable again.
-            # One classifier snapshot serves every country's deferred
-            # assembler; per-country snapshots would each copy the footprint.
-            with phase("finalize"):
-                finalize_one = functools.partial(
-                    self.finalize_country, categories=self.categories.snapshot()
-                )
-                finalized = strategy.finalize(self, partials, finalize_one)
+            dataset = self._assemble(partials, strategy, phase)
 
         if obs is not None:
             # Driver-side metrics: replayed from the partials in
             # canonical order (covers cache hits, executor-independent).
             obs.record_partials(partials)
-            obs.record_faults(faults)
+            obs.record_faults(dataset.faults)
             if cache is not None:
                 obs.record_cache(cache)
         logger.info("pipeline run finished: %d countries", len(codes))
+        return dataset
+
+    def _assemble(self, partials, strategy, phase) -> GovernmentHostingDataset:
+        """The merge barrier and phase 2, shared by :meth:`run`/:meth:`assemble`."""
+        # Barrier: cross-country reductions, merged deterministically.
+        with phase("merge"):
+            self.categories.ingest(merge_footprints(partials))
+            validation = merge_validation(partials)
+            faults = merge_faults(partials)
+
+        # Phase 2: categorize + record assembly, parallelizable again.
+        # One classifier snapshot serves every country's deferred
+        # assembler; per-country snapshots would each copy the footprint.
+        with phase("finalize"):
+            finalize_one = functools.partial(
+                self.finalize_country, categories=self.categories.snapshot()
+            )
+            finalized = strategy.finalize(self, partials, finalize_one)
         return GovernmentHostingDataset(
             countries={dataset.country: dataset for dataset in finalized},
             validation=validation,
             faults=faults,
         )
+
+    def assemble(
+        self,
+        partials: Sequence[CountryPartial],
+        executor: Optional[ExecutionStrategy] = None,
+    ) -> GovernmentHostingDataset:
+        """Merge + finalize externally supplied phase-1 partials.
+
+        The scenario sweep scans each unique ``(global, country-slice)``
+        key once and fans the partials back out per scenario; this is
+        the entry point it assembles each scenario's dataset through.
+        Produces exactly what :meth:`run` would for the same partials:
+        the same merge barrier, one classifier snapshot, the same
+        executor-driven finalize.  Like :meth:`run`, it ingests the
+        merged footprint into this pipeline's classifier — assemble a
+        given pipeline's partials once, not repeatedly.
+        """
+        strategy = executor or SerialExecutor()
+        obs = self.obs
+        phase = obs.phase if obs is not None else _null_span
+        dataset = self._assemble(partials, strategy, phase)
+        if obs is not None:
+            obs.record_partials(partials)
+            obs.record_faults(dataset.faults)
+        return dataset
 
 
 __all__ = ["Pipeline"]

@@ -36,6 +36,23 @@ class ExecutionStrategy(abc.ABC):
         """Run phase 1 for every country, returning partials in the
         order of ``codes`` regardless of completion order."""
 
+    def scan_groups(
+        self, groups: Sequence[tuple["Pipeline", Sequence[str]]]
+    ) -> list[list[CountryPartial]]:
+        """Phase 1 for several pipelines' country batches in one wave.
+
+        The scenario sweep deduplicates its (scenario, country) matrix
+        down to unique scan tasks grouped by pipeline (one pipeline per
+        distinct world config) and dispatches them all here at once, so
+        a pooled strategy can fill its workers across group boundaries
+        instead of draining between per-scenario batches.  Results come
+        back as one list per group, each in that group's submission
+        order.  The default runs the groups sequentially through
+        :meth:`scan`; pooled strategies override this to submit every
+        task up front.
+        """
+        return [self.scan(pipeline, list(codes)) for pipeline, codes in groups]
+
     def scan_cached(
         self,
         pipeline: "Pipeline",

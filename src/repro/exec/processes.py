@@ -18,6 +18,7 @@ serial execution are faster.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import logging
 import os
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
@@ -76,6 +77,29 @@ def _scan_one(code: str) -> _ScanResult:
     return partial, pipeline.scan_seconds.get(code.upper()), scope
 
 
+#: Sweep workers keep one rebuilt pipeline per distinct world config
+#: (hashable key: the config itself plus the crawl depth), so a
+#: multi-scenario wave re-generates each world at most once per worker
+#: instead of restarting the pool per config.
+_SWEEP_PIPELINES: dict[tuple[WorldConfig, int], "Pipeline"] = {}
+
+
+def _sweep_scan_one(
+    config: WorldConfig, max_depth: int, code: str
+) -> tuple[CountryPartial, Optional[float]]:
+    """Sweep worker task: phase 1 for one (config, country) pair."""
+    key = (config, max_depth)
+    pipeline = _SWEEP_PIPELINES.get(key)
+    if pipeline is None:
+        from repro.core.pipeline import Pipeline
+        from repro.datagen.generator import SyntheticWorld
+
+        pipeline = Pipeline(SyntheticWorld.generate(config), max_depth=max_depth)
+        _SWEEP_PIPELINES[key] = pipeline
+    partial = pipeline.scan_partial(code)
+    return partial, pipeline.scan_seconds.get(code.upper())
+
+
 class ProcessExecutor(ExecutionStrategy):
     """Fans per-country work out over a ``ProcessPoolExecutor``."""
 
@@ -87,6 +111,10 @@ class ProcessExecutor(ExecutionStrategy):
         self.workers = workers or os.cpu_count() or 1
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_key: Optional[tuple[WorldConfig, int, bool]] = None
+        #: Separate multi-config pool for sweep waves: its workers build
+        #: pipelines lazily per task config instead of in an initializer,
+        #: so it never restarts between scenarios.
+        self._sweep_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def _ensure_pool(
         self, config: WorldConfig, max_depth: int, observe: bool
@@ -135,6 +163,63 @@ class ProcessExecutor(ExecutionStrategy):
             partials.append(partial)
         return partials
 
+    def _ensure_sweep_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._sweep_pool is None:
+            logger.debug("starting sweep process pool: workers=%d", self.workers)
+            self._sweep_pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._sweep_pool
+
+    def scan_groups(
+        self, groups: Sequence[tuple["Pipeline", Sequence[str]]]
+    ) -> list[list[CountryPartial]]:
+        for pipeline, _ in groups:
+            if not pipeline.supports_process_execution:
+                raise ValueError(
+                    "ProcessExecutor requires the pipeline's default "
+                    "geolocator and a config-derived fault plan; custom "
+                    "objects cannot be rebuilt inside worker processes — "
+                    "use SerialExecutor or ThreadExecutor"
+                )
+            if pipeline.obs is not None:
+                raise ValueError(
+                    "sweep scan waves do not ship observability scopes "
+                    "across the process boundary; trace sweeps with the "
+                    "serial or thread executor"
+                )
+        pool = self._ensure_sweep_pool()
+        # One pool-filling wave: every task of every group is submitted
+        # before any result is collected, so workers drain the whole
+        # sweep instead of idling at per-scenario batch boundaries.
+        submitted = []
+        for pipeline, codes in groups:
+            config = pipeline.world.config
+            if config.countries is not None and not isinstance(
+                config.countries, tuple
+            ):
+                # Workers key their pipeline memo by the config, which
+                # must hash; a list-valued country selection is the one
+                # unhashable field a caller can reach.
+                config = dataclasses.replace(
+                    config, countries=tuple(config.countries)
+                )
+            max_depth = pipeline.crawler.max_depth
+            submitted.append([
+                pool.submit(_sweep_scan_one, config, max_depth, code)
+                for code in codes
+            ])
+        results: list[list[CountryPartial]] = []
+        for (pipeline, codes), futures in zip(groups, submitted):
+            partials: list[CountryPartial] = []
+            for code, future in zip(codes, futures):
+                partial, seconds = future.result()
+                if seconds is not None:
+                    pipeline.scan_seconds[code.upper()] = seconds
+                partials.append(partial)
+            results.append(partials)
+        return results
+
     def finalize(
         self,
         pipeline: "Pipeline",
@@ -154,6 +239,9 @@ class ProcessExecutor(ExecutionStrategy):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_key = None
+        if self._sweep_pool is not None:
+            self._sweep_pool.shutdown(wait=True)
+            self._sweep_pool = None
 
 
 __all__ = ["ProcessExecutor"]

@@ -56,6 +56,19 @@ class ThreadExecutor(ExecutionStrategy):
         # shards complete out of order.
         return list(self._ensure_pool().map(pipeline.scan_partial, codes))
 
+    def scan_groups(
+        self, groups: Sequence[tuple["Pipeline", Sequence[str]]]
+    ) -> list[list[CountryPartial]]:
+        # Submit every task across every group before collecting any
+        # result: one pool-filling wave, so a small group never leaves
+        # threads idle while a large one still has queued work.
+        pool = self._ensure_pool()
+        submitted = [
+            [pool.submit(pipeline.scan_partial, code) for code in codes]
+            for pipeline, codes in groups
+        ]
+        return [[future.result() for future in group] for group in submitted]
+
     def finalize(
         self,
         pipeline: "Pipeline",

@@ -49,6 +49,9 @@ FAULT_PROFILES: Mapping[str, Mapping[str, float]] = {
     "vpn": {"vpn": 1.0},
     # Only the lookup services fail (API quota exhaustion / outages).
     "lookups": {"dns": 1.0, "whois": 1.0, "ipinfo": 1.0, "peeringdb": 1.0},
+    # Only resolution fails (the authoritative-DNS stress regime of
+    # "Assessing Resilience in Authoritative DNS Infrastructure").
+    "dns": {"dns": 1.0},
 }
 
 #: CLI names of the available profiles.

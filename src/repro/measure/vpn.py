@@ -6,6 +6,14 @@ country through NordVPN, Surfshark or Hotspot Shield exits (Sections
 geolocation machinery used for servers.  A vantage point here is an
 exit location (capital city of the target country) tied to the VPN
 provider Table 9 lists for that country.
+
+Countries with several cities expose *alternate* exits of the same
+provider; :meth:`VpnCatalog.vantage_at` hands them out by rank (0 is
+the primary capital exit), which is what the scenario sweep's
+vantage-sensitivity axis and the fault layer's re-selection both build
+on.  Lookups for unknown countries or exhausted ranks raise
+:class:`UnknownVantageError` naming the country and listing what *is*
+available, instead of a bare ``KeyError``/``IndexError``.
 """
 
 from __future__ import annotations
@@ -14,6 +22,25 @@ import dataclasses
 
 from repro.world.cities import capital_of, cities_of
 from repro.world.countries import COUNTRIES
+
+
+class UnknownVantageError(KeyError):
+    """No vantage exists for the requested country or rank.
+
+    Raised with a message naming the offending country code and listing
+    the available vantages (country codes for an unknown country, exit
+    cities for an exhausted alternate rank), so a scenario matrix or
+    fault profile referencing a bad vantage fails with context instead
+    of a raw lookup error.  Derives from :class:`KeyError` so existing
+    ``except KeyError`` call sites keep working.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.message
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,6 +63,9 @@ class VpnCatalog:
 
     def __init__(self) -> None:
         self._vantages: dict[str, VantagePoint] = {}
+        #: Per-country exit list (primary first, then alternates in city
+        #: declaration order), memoized by :meth:`vantages_of`.
+        self._exits: dict[str, tuple[VantagePoint, ...]] = {}
         for code, country in COUNTRIES.items():
             capital = capital_of(code)
             self._vantages[code] = VantagePoint(
@@ -46,31 +76,91 @@ class VpnCatalog:
                 lon=capital.lon,
             )
 
-    def vantage_for(self, country_code: str) -> VantagePoint:
-        """The in-country VPN exit for ``country_code``."""
-        return self._vantages[country_code.upper()]
-
-    def fallback_vantage(self, country_code: str) -> VantagePoint:
-        """An alternate in-country exit for when the primary is down.
-
-        VPN providers run exits in several cities of popular countries;
-        when the capital exit keeps refusing connections the fault layer
-        re-selects the provider's exit in the next city of the country.
-        Countries with a single city fall back to the primary itself
-        (the retry policy is the only recovery available there).
-        """
+    def _require(self, country_code: str) -> str:
         code = country_code.upper()
-        primary = self._vantages[code]
-        for city in cities_of(code):
-            if city.name != primary.city:
-                return VantagePoint(
+        if code not in self._vantages:
+            raise UnknownVantageError(
+                f"no VPN vantage for country {code!r}; "
+                f"{len(self._vantages)} countries available: "
+                f"{', '.join(sorted(self._vantages))}"
+            )
+        return code
+
+    def vantages_of(self, country_code: str) -> tuple[VantagePoint, ...]:
+        """Every exit of ``country_code``'s provider, primary first.
+
+        The primary is the capital exit :meth:`vantage_for` returns;
+        alternates follow in the country's city declaration order.
+        """
+        code = self._require(country_code)
+        exits = self._exits.get(code)
+        if exits is None:
+            primary = self._vantages[code]
+            alternates = tuple(
+                VantagePoint(
                     country=code,
                     provider=primary.provider,
                     city=city.name,
                     lat=city.lat,
                     lon=city.lon,
                 )
-        return primary
+                for city in cities_of(code)
+                if city.name != primary.city
+            )
+            exits = (primary,) + alternates
+            self._exits[code] = exits
+        return exits
+
+    def vantage_for(self, country_code: str) -> VantagePoint:
+        """The in-country VPN exit for ``country_code``."""
+        return self._vantages[self._require(country_code)]
+
+    def vantage_at(self, country_code: str, rank: int) -> VantagePoint:
+        """The ``rank``-th exit of the country (0 = the primary).
+
+        Scenario sweeps measure vantage sensitivity by re-running a
+        country's scan from ``rank >= 1`` alternates.  A rank beyond the
+        provider's exit list raises :class:`UnknownVantageError` listing
+        the exits that do exist.
+        """
+        if rank < 0:
+            raise ValueError(f"vantage rank must be >= 0, got {rank}")
+        exits = self.vantages_of(country_code)
+        if rank >= len(exits):
+            raise UnknownVantageError(
+                f"vantage rank {rank} exhausted for {exits[0].country}: only "
+                f"{len(exits)} exit(s) available "
+                f"({', '.join(v.city for v in exits)})"
+            )
+        return exits[rank]
+
+    def alternate_count(self, country_code: str) -> int:
+        """How many non-primary exits the country's provider runs."""
+        return len(self.vantages_of(country_code)) - 1
+
+    def fallback_vantage(
+        self, country_code: str, rank: int = 0
+    ) -> VantagePoint:
+        """An alternate in-country exit for when exit ``rank`` is down.
+
+        VPN providers run exits in several cities of popular countries;
+        when the selected exit keeps refusing connections the fault
+        layer re-selects the provider's next exit of the country.
+        Countries with nothing beyond ``rank`` fall back to the ranked
+        exit itself (the retry policy is the only recovery there).
+        """
+        if rank < 0:
+            raise ValueError(f"vantage rank must be >= 0, got {rank}")
+        exits = self.vantages_of(country_code)
+        if rank >= len(exits):
+            raise UnknownVantageError(
+                f"vantage rank {rank} exhausted for {exits[0].country}: only "
+                f"{len(exits)} exit(s) available "
+                f"({', '.join(v.city for v in exits)})"
+            )
+        if rank + 1 < len(exits):
+            return exits[rank + 1]
+        return exits[rank]
 
     def provider_usage(self) -> dict[str, int]:
         """Number of countries reached through each VPN provider.
@@ -97,4 +187,4 @@ class VpnCatalog:
         return len(self._vantages)
 
 
-__all__ = ["VantagePoint", "VpnCatalog"]
+__all__ = ["UnknownVantageError", "VantagePoint", "VpnCatalog"]

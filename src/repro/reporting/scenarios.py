@@ -1,0 +1,128 @@
+"""Comparative sweep report: every scenario's divergence vs baseline.
+
+Rendered from a :class:`~repro.scenarios.runner.SweepResult` plus its
+:func:`~repro.scenarios.compare.compare_sweep` divergences.  The first
+line after the header is the runner's grep-able dedup accounting
+(``sweep: S scenarios x C countries = T tasks -> U unique scans ...``),
+which CI smoke jobs assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.reporting.tables import render_table
+from repro.scenarios.compare import ScenarioDivergence, compare_sweep
+from repro.scenarios.runner import SweepResult
+
+
+def _fmt_delta(value: float, digits: int = 4) -> str:
+    return f"{value:+.{digits}f}"
+
+
+def render_sweep_report(
+    sweep: SweepResult,
+    divergences: Optional[Sequence[ScenarioDivergence]] = None,
+) -> str:
+    """The full comparative report of one sweep, as monospace text."""
+    if divergences is None:
+        divergences = compare_sweep(sweep)
+    accounting = sweep.accounting
+    baseline = sweep.baseline
+
+    lines: list[str] = []
+    lines.append("SCENARIO SWEEP REPORT")
+    lines.append("=" * 70)
+    lines.append(accounting.summary())
+    lines.append(
+        f"scan wave: {accounting.scan_wave_s:.2f}s; baseline config "
+        f"fingerprint {baseline.run_fp}"
+    )
+    lines.append("")
+
+    # Overview: one row per scenario including the baseline.
+    overview_rows = [[
+        baseline.name, baseline.scenario.kind, "-", "0", "-", "-", "-",
+    ]]
+    by_name = {divergence.name: divergence for divergence in divergences}
+    for result in sweep.results[1:]:
+        divergence = by_name[result.name]
+        overview_rows.append([
+            result.name,
+            result.scenario.kind,
+            ("shared" if divergence.identical_dataset
+             else str(len(result.changed_countries))),
+            str(divergence.verdict_flips),
+            _fmt_delta(divergence.third_party_delta),
+            _fmt_delta(divergence.hhi_mean_delta),
+            (str(divergence.outage.affected_count)
+             if divergence.outage is not None else "-"),
+        ])
+    lines.append(render_table(
+        ["scenario", "kind", "changed", "flips", "d(3P share)",
+         "d(mean HHI)", "outage hit"],
+        overview_rows,
+        title="Divergence vs baseline",
+    ))
+    lines.append("")
+
+    # Per-scenario detail sections.
+    for divergence in divergences:
+        lines.append(f"--- {divergence.name} ({divergence.kind}): "
+                     f"{divergence.description}")
+        if divergence.identical_dataset:
+            lines.append(
+                "    dataset shared with baseline (no re-scan, no "
+                "measurement divergence)"
+            )
+        else:
+            changed = ", ".join(divergence.changed_countries) or "none"
+            lines.append(f"    re-keyed countries: {changed}")
+            if divergence.flips_by_country:
+                flips = ", ".join(
+                    f"{code}:{count}"
+                    for code, count in divergence.flips_by_country
+                )
+                lines.append(
+                    f"    geolocation verdict flips: "
+                    f"{divergence.verdict_flips} ({flips})"
+                )
+            else:
+                lines.append("    geolocation verdict flips: 0")
+            deltas = ", ".join(
+                f"{label} {_fmt_delta(delta)}"
+                for label, delta in divergence.category_deltas
+            )
+            lines.append(f"    category URL-share deltas: {deltas}")
+            lines.append(
+                f"    mean network-HHI delta: "
+                f"{_fmt_delta(divergence.hhi_mean_delta)}"
+            )
+            if divergence.hhi_top_movers:
+                movers = ", ".join(
+                    f"{code} {_fmt_delta(delta)}"
+                    for code, delta in divergence.hhi_top_movers
+                )
+                lines.append(f"    HHI top movers: {movers}")
+        if divergence.outage is not None:
+            outage = divergence.outage
+            names = ", ".join(outage.names)
+            asns = ", ".join(f"AS{asn}" for asn in outage.asns)
+            lines.append(
+                f"    outage blast radius of {names} ({asns}): "
+                f"{outage.affected_count} governments lose >10% of URLs"
+            )
+            if outage.affected:
+                worst = ", ".join(
+                    f"{code} -{share:.0%}" for code, share in outage.affected
+                )
+                lines.append(
+                    f"    affected: {worst} "
+                    f"(mean loss {outage.mean_share_lost:.0%})"
+                )
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+__all__ = ["render_sweep_report"]

@@ -112,6 +112,7 @@ def _with_override(base: WorldConfig, override: CountryOverride) -> WorldConfig:
         CountryOverride(country="BR", hyperscaler_shift=0.05),
         CountryOverride(country="BR", prefix_epoch=2),
         CountryOverride(country="BR", provider_tilt=(("amazon", 1.4),)),
+        CountryOverride(country="BR", vantage_rank=1),
     ],
 )
 def test_override_rekeys_only_its_country(override):

@@ -1,0 +1,123 @@
+"""Cache maintenance: inventory, usage stats and LRU-by-mtime pruning."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.cache import ScanCache
+
+CODES = ("BR", "US", "FR")
+
+
+@pytest.fixture()
+def populated(tmp_path) -> ScanCache:
+    """A cache holding one real entry per country of a tiny run."""
+    cache = ScanCache(tmp_path / "cache")
+    config = WorldConfig(seed=7, scale=0.01, countries=CODES)
+    Pipeline(SyntheticWorld.generate(config)).run(cache=cache)
+    return cache
+
+
+def _set_mtimes(cache: ScanCache, mtimes) -> None:
+    """Pin each entry's mtime (oldest-first inventory order)."""
+    for entry, mtime in zip(cache.inventory(), mtimes):
+        os.utime(entry.path, (mtime, mtime))
+
+
+def test_inventory_lists_every_entry_oldest_first(populated):
+    entries = populated.inventory()
+    assert len(entries) == len(CODES)
+    assert {entry.country for entry in entries} == set(CODES)
+    assert all(entry.size_bytes > 0 for entry in entries)
+    assert all(entry.path.exists() for entry in entries)
+    mtimes = [entry.mtime for entry in entries]
+    assert mtimes == sorted(mtimes)
+
+
+def test_usage_aggregates_the_inventory(populated):
+    entries = populated.inventory()
+    usage = populated.usage()
+    assert usage["entries"] == len(entries)
+    assert usage["total_bytes"] == sum(e.size_bytes for e in entries)
+    assert usage["countries"] == {code: 1 for code in CODES}
+    assert usage["oldest_mtime"] == entries[0].mtime
+    assert usage["newest_mtime"] == entries[-1].mtime
+
+
+def test_usage_of_an_empty_cache(tmp_path):
+    usage = ScanCache(tmp_path / "empty").usage()
+    assert usage["entries"] == 0
+    assert usage["total_bytes"] == 0
+    assert usage["oldest_mtime"] is None
+
+
+def test_prune_requires_a_criterion(populated):
+    with pytest.raises(ValueError, match="max_bytes and/or older_than_s"):
+        populated.prune()
+
+
+def test_dry_run_removes_nothing(populated):
+    result = populated.prune(max_bytes=0, dry_run=True)
+    assert result.dry_run
+    assert result.removed == len(CODES)
+    assert result.kept == 0
+    assert "would remove" in result.summary()
+    # Nothing actually left the disk.
+    assert len(populated.inventory()) == len(CODES)
+
+
+def test_age_out_uses_the_reference_clock(populated):
+    _set_mtimes(populated, (100.0, 200.0, 300.0))
+    result = populated.prune(older_than_s=150.0, now=400.0)
+    # Ages are 300, 200 and 100 seconds; only the first two exceed 150.
+    assert result.removed == 2
+    assert result.kept == 1
+    survivors = populated.inventory()
+    assert len(survivors) == 1
+    assert survivors[0].mtime == 300.0
+
+
+def test_byte_budget_evicts_oldest_first(populated):
+    _set_mtimes(populated, (100.0, 200.0, 300.0))
+    entries = populated.inventory()
+    total = sum(entry.size_bytes for entry in entries)
+    # One byte under the total forces out exactly the oldest entry.
+    result = populated.prune(max_bytes=total - 1)
+    assert result.removed == 1
+    assert result.removed_bytes == entries[0].size_bytes
+    assert not entries[0].path.exists()
+    assert result.kept_bytes == total - entries[0].size_bytes
+
+    # A zero budget clears the rest.
+    result = populated.prune(max_bytes=0)
+    assert result.kept == 0
+    assert populated.inventory() == []
+
+
+def test_prune_breaks_mtime_ties_by_key(populated):
+    _set_mtimes(populated, (100.0, 100.0, 300.0))
+    tied = sorted(populated.inventory()[:2], key=lambda e: e.key)
+    total = sum(e.size_bytes for e in populated.inventory())
+    result = populated.prune(max_bytes=total - 1)
+    # Of the two tied-oldest entries, the smaller key goes first.
+    assert result.removed == 1
+    assert not tied[0].path.exists()
+    assert tied[1].path.exists()
+
+
+def test_pruned_entries_turn_into_misses(populated, tmp_path):
+    keys = [entry.key for entry in populated.inventory()]
+    populated.prune(max_bytes=0)
+    for key, code in zip(keys, CODES):
+        assert populated.load(key, code) is None
+
+
+def test_prune_result_is_json_ready(populated):
+    import json
+
+    payload = populated.prune(max_bytes=0, dry_run=True).to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["examined"] == len(CODES)
