@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.categories import HostingCategory
 from repro.core.dataset import DatasetSummary, GovernmentHostingDataset
+from repro.obs import events as obs_events
 from repro.urltools import registrable_domain
 from repro.world.countries import COUNTRIES
 
@@ -106,7 +107,17 @@ class locked_cached_property:
             pass
         with instance._memo_lock:
             if self.attrname not in cache:
+                # Observability only: a no-op unless a collection scope
+                # is active on this thread (zero-perturbation rule).
+                # The memoized fast path above bypasses __get__ via the
+                # instance __dict__, so only builds and lock-race hits
+                # are observable here.
+                obs_events.emit("memo.build", table=self.attrname,
+                                index=type(instance).__name__)
                 cache[self.attrname] = self.func(instance)
+            else:
+                obs_events.emit("memo.hit", table=self.attrname,
+                                index=type(instance).__name__)
             return cache[self.attrname]
 
 

@@ -14,11 +14,16 @@
     repro-gov report world.store --section full      # same, zero-copy store
     repro-gov convert dataset.jsonl world.store      # jsonl <-> store
     repro-gov serve --store-dir world.store --port 8321  # HTTP query service
+    repro-gov serve --store-dir world.store --trace-dir traces  # + request traces
     repro-gov inspect --hostname www.gub.uy          # one hostname end to end
+    repro-gov run --scale 0.05 --registry .runs      # record into run registry
+    repro-gov obs runs --registry .runs              # list registered runs
+    repro-gov obs diff 0 1 --registry .runs          # what changed between runs
+    repro-gov obs bench --check BENCH_*.json         # bench-regression sentinel
 
 Every command is deterministic given ``--seed``; the observability
-flags (``--trace-out``/``--metrics-out``/``--manifest``/``--progress``)
-never change what a run computes, only what it reports.
+flags (``--trace-out``/``--metrics-out``/``--manifest``/``--progress``/
+``--registry``) never change what a run computes, only what it reports.
 """
 
 from __future__ import annotations
@@ -104,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--progress", action="store_true",
                      help="print a per-country heartbeat to stderr as "
                           "scans complete")
+    run.add_argument("--registry", metavar="DIR", default=None,
+                     help="append this run's provenance manifest to the "
+                          "cross-run registry journal under DIR (query it "
+                          "with `repro-gov obs runs`/`obs diff`)")
 
     evolve = subparsers.add_parser(
         "evolve", help="run a longitudinal snapshot series: evolve the "
@@ -136,6 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "scans (default: serial)")
     evolve.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker count for parallel executors")
+    evolve.add_argument("--registry", metavar="DIR", default=None,
+                        help="append every snapshot's manifest to the "
+                             "cross-run registry journal under DIR")
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario matrix as one deduplicated scan "
@@ -170,6 +182,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="write the accounting and per-scenario "
                             "divergences as JSON")
+    sweep.add_argument("--registry", metavar="DIR", default=None,
+                       help="append one manifest per distinct swept "
+                            "config to the cross-run registry under DIR")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or prune a persistent scan cache"
@@ -240,6 +255,61 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bind port; 0 picks a free one (default: 8321)")
     serve.add_argument("--workers", type=int, default=8, metavar="N",
                        help="max concurrent request threads (default: 8)")
+    serve.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="trace every request into a bounded on-disk "
+                            "ring under DIR (request-NNNN.json slot files "
+                            "plus slow-queries.jsonl); responses stay "
+                            "byte-identical to untraced serving")
+    serve.add_argument("--trace-ring", type=int, default=128, metavar="N",
+                       help="slot files in the request-trace ring "
+                            "(default: 128; requires --trace-dir)")
+    serve.add_argument("--slow-ms", type=float, default=250.0, metavar="MS",
+                       help="append requests at or above this latency to "
+                            "slow-queries.jsonl (default: 250)")
+
+    obs = subparsers.add_parser(
+        "obs", help="cross-run observability: query the run registry, "
+                    "diff runs, gate benchmark results"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_runs = obs_sub.add_parser(
+        "runs", help="list every run recorded in a registry journal"
+    )
+    obs_runs.add_argument("--registry", required=True, metavar="DIR")
+    obs_runs.add_argument("--json", dest="json_out", action="store_true",
+                          help="print the runs as JSON instead of a table")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="structured diff of two registered runs "
+                     "(config, countries, dataset shape, timings, "
+                     "cache, versions)"
+    )
+    obs_diff.add_argument("a", metavar="RUN_A",
+                          help="sequence number, run id, or id prefix")
+    obs_diff.add_argument("b", metavar="RUN_B",
+                          help="sequence number, run id, or id prefix")
+    obs_diff.add_argument("--registry", required=True, metavar="DIR")
+    obs_diff.add_argument("--json", dest="json_out", action="store_true",
+                          help="print the diff as JSON instead of tables")
+    obs_bench = obs_sub.add_parser(
+        "bench", help="evaluate the declarative regression gates over "
+                      "BENCH_<kind>.json documents"
+    )
+    obs_bench.add_argument("benches", nargs="+", metavar="BENCH_JSON",
+                           help="one or more BENCH_<kind>.json files")
+    obs_bench.add_argument("--check", action="store_true",
+                           help="exit non-zero if any gate fails "
+                                "(naming the culprit metric)")
+    obs_bench.add_argument("--tolerance", type=float, default=0.0,
+                           metavar="T",
+                           help="relax numeric min/max thresholds by this "
+                                "fraction (default: 0; exactness gates "
+                                "are never relaxed)")
+    obs_bench.add_argument("--json", dest="json_out", action="store_true",
+                           help="print gate results as JSON")
+    obs_bench.add_argument("--registry", metavar="DIR", default=None,
+                           help="also compare each fingerprint's latest "
+                                "registered run against its own history "
+                                "(wall time, cache hit rate)")
 
     inspect = subparsers.add_parser(
         "inspect", help="trace one hostname through the pipeline"
@@ -294,7 +364,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cache = None
     obs = None
     observed = (args.trace_out or args.metrics_out or args.manifest
-                or args.progress)
+                or args.progress or args.registry)
     if observed:
         from repro.obs import Observability
 
@@ -348,14 +418,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.metrics_out:
             _write_json(args.metrics_out, obs.metrics.to_dict())
             print(f"wrote metrics to {args.metrics_out}")
-        if args.manifest:
+        if args.manifest or args.registry:
             from repro.obs import RunManifest, manifest_path_for
 
             manifest = RunManifest.collect(
                 pipeline, dataset, executor=executor, cache=cache, obs=obs
             )
-            path = manifest.write(manifest_path_for(args.out))
-            print(f"wrote manifest to {path}")
+            if args.manifest:
+                path = manifest.write(manifest_path_for(args.out))
+                print(f"wrote manifest to {path}")
+            if args.registry:
+                from repro.obs import RunRegistry
+
+                run, created = RunRegistry(args.registry).record(manifest)
+                verb = "recorded" if created else "already recorded as"
+                print(f"registry: {verb} run #{run.seq} {run.id[:12]} "
+                      f"in {args.registry}")
     return 0
 
 
@@ -448,9 +526,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.cache import ScanCache
 
         cache = ScanCache(args.cache_dir)
+    registry = None
+    if args.registry:
+        from repro.obs import RunRegistry
+
+        registry = RunRegistry(args.registry)
     executor = make_executor(args.executor, workers=args.workers)
     try:
-        runner = SweepRunner(matrix, cache=cache, executor=executor)
+        runner = SweepRunner(matrix, cache=cache, executor=executor,
+                             registry=registry)
         sweep = runner.run()
     except MatrixError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -461,6 +545,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_sweep_report(sweep, divergences))
     if cache is not None:
         print(f"cache: {cache.stats.summary()}")
+    if registry is not None:
+        print(f"registry: {len(registry)} runs in {args.registry}")
     if args.out_dir:
         from repro.io import save_dataset
 
@@ -558,6 +644,11 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         seed=args.seed, scale=args.scale,
         countries=args.countries or None,
     )
+    registry = None
+    if args.registry:
+        from repro.obs import RunRegistry
+
+        registry = RunRegistry(args.registry)
     executor = make_executor(args.executor, workers=args.workers)
     series = SnapshotSeries(
         config, args.snapshots,
@@ -565,6 +656,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         cache=args.cache_dir,
         executor=executor,
         collect_manifests=args.manifest,
+        registry=registry,
     )
     try:
         records = series.run()
@@ -581,6 +673,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
                   f"(changed: {changed})")
     if args.cache_dir:
         print(f"series total: {series.total_stats.summary()}")
+    if registry is not None:
+        print(f"registry: {len(registry)} runs in {args.registry}")
     if args.out_dir:
         from repro.io import save_dataset
         from repro.obs import manifest_path_for
@@ -659,14 +753,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 item.close()
             return 1
         history.append(earlier)
+    trace_log = None
+    if args.trace_dir:
+        from repro.serve import RequestTraceLog
+
+        if args.trace_ring < 1:
+            print("error: --trace-ring must be at least 1",
+                  file=sys.stderr)
+            loaded.close()
+            for item in history:
+                item.close()
+            return 2
+        trace_log = RequestTraceLog(args.trace_dir,
+                                    ring_size=args.trace_ring,
+                                    slow_ms=args.slow_ms)
     service = DatasetService(loaded, history=history)
     server = create_server(service, host=args.host, port=args.port,
-                           workers=args.workers)
+                           workers=args.workers, trace_log=trace_log)
     host, port = server.server_address[:2]
     print(f"serving {loaded.kind} dataset {loaded.path} "
           f"on http://{host}:{port} ({args.workers} workers)")
     print("endpoints: /healthz /metrics "
           + " ".join(f"/v1/{name}" for name in sorted(QUERY_ENDPOINTS)))
+    if trace_log is not None:
+        print(f"tracing requests into {trace_log.directory} "
+              f"(ring {trace_log.ring_size}, slow >= "
+              f"{trace_log.slow_ms:g}ms)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -717,6 +829,99 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import RegistryError, RunRegistry
+
+    if args.obs_command == "runs":
+        try:
+            registry = RunRegistry(args.registry)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        runs = registry.runs()
+        if args.json_out:
+            json.dump([run.to_dict() for run in runs], sys.stdout,
+                      indent=2)
+            print()
+            return 0
+        from repro.reporting.obs import render_run_listing
+
+        print(render_run_listing(runs))
+        return 0
+
+    if args.obs_command == "diff":
+        from repro.obs import diff_runs
+
+        try:
+            registry = RunRegistry(args.registry)
+            run_a = registry.get(args.a)
+            run_b = registry.get(args.b)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        diff = diff_runs(run_a, run_b)
+        if args.json_out:
+            json.dump(diff.to_dict(), sys.stdout, indent=2)
+            print()
+            return 0
+        from repro.reporting.obs import render_run_diff
+
+        print(f"diff of run #{run_a.seq} ({run_a.id[:12]}) vs "
+              f"run #{run_b.seq} ({run_b.id[:12]})")
+        print(render_run_diff(diff))
+        return 0
+
+    if args.obs_command == "bench":
+        from repro.obs.sentinel import SentinelError, check, trajectory
+
+        try:
+            checks = check(args.benches, tolerance=args.tolerance)
+        except SentinelError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        findings = ()
+        if args.registry:
+            try:
+                findings = trajectory(RunRegistry(args.registry))
+            except RegistryError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        if args.json_out:
+            json.dump({
+                "checks": [item.to_dict() for item in checks],
+                "trajectory": [f.to_dict() for f in findings],
+            }, sys.stdout, indent=2)
+            print()
+        else:
+            for item in checks:
+                for result in item.results:
+                    mark = "ok  " if result.ok else "FAIL"
+                    print(f"{mark} [{item.kind}] {result.message}")
+            for finding in findings:
+                print(f"WARN trajectory: {finding.metric} of fingerprint "
+                      f"{finding.fingerprint[:12]} moved "
+                      f"{finding.baseline} -> {finding.latest} "
+                      f"({finding.ratio}x, run {finding.run_id[:12]})")
+        failures = [(item, result) for item in checks
+                    for result in item.results if not result.ok]
+        if failures:
+            culprits = ", ".join(
+                f"{item.path}: {result.metric}"
+                for item, result in failures
+            )
+            print(f"bench gates FAILED ({len(failures)}): {culprits}",
+                  file=sys.stderr)
+            if args.check:
+                return 1
+        elif not args.json_out:
+            total = sum(len(item.results) for item in checks)
+            print(f"bench gates passed ({total} gates over "
+                  f"{len(checks)} files)")
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -801,6 +1006,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_convert(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     raise AssertionError(f"unhandled command {args.command!r}")

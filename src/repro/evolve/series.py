@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.dataset import GovernmentHostingDataset
     from repro.exec import ExecutionStrategy
     from repro.obs import Observability, RunManifest
+    from repro.obs.registry import RunRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -98,6 +99,7 @@ class SnapshotSeries:
         obs: Optional["Observability"] = None,
         collect_manifests: bool = False,
         verify_hit_rates: bool = True,
+        registry: Optional["RunRegistry"] = None,
     ) -> None:
         if snapshots < 1:
             raise ValueError(f"snapshots must be >= 1, got {snapshots}")
@@ -110,6 +112,10 @@ class SnapshotSeries:
         self.obs = obs
         self.collect_manifests = collect_manifests
         self.verify_hit_rates = verify_hit_rates
+        #: When set, every snapshot's manifest (built even if
+        #: ``collect_manifests`` is off) is appended to this cross-run
+        #: registry, chaining the whole series into queryable history.
+        self.registry = registry
         #: Aggregated cache accounting across every snapshot run so far.
         self.total_stats = CacheStats()
 
@@ -169,14 +175,18 @@ class SnapshotSeries:
         if (self.verify_hit_rates and snapshot_stats is not None
                 and parent_fingerprint is not None):
             self._verify(record, snapshot_stats)
-        if self.collect_manifests:
+        if self.collect_manifests or self.registry is not None:
             from repro.obs import RunManifest
 
-            record.manifest = RunManifest.collect(
+            manifest = RunManifest.collect(
                 pipeline, dataset, executor=self.executor,
                 cache=self.cache, obs=self.obs,
                 evolution=self.evolution_provenance(record),
             )
+            if self.collect_manifests:
+                record.manifest = manifest
+            if self.registry is not None:
+                self.registry.record(manifest)
         return record
 
     def evolution_provenance(self, record: SnapshotRecord) -> Optional[dict]:

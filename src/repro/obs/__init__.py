@@ -30,12 +30,28 @@ import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
+from repro.obs.events import Event, EventLog
 from repro.obs.manifest import (
     MANIFEST_FORMAT_VERSION,
+    SUPPORTED_MANIFEST_FORMATS,
     RunManifest,
     manifest_path_for,
+    tool_version,
 )
-from repro.obs.metrics import MetricsRegistry, merge_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ThreadSafeMetricsRegistry,
+    merge_metrics,
+)
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.registry import (
+    ManifestDiff,
+    RegisteredRun,
+    RegistryError,
+    RunRegistry,
+    diff_manifests,
+    diff_runs,
+)
 from repro.obs.scan import FUNNEL_STEPS, ScanObs, funnel_metrics
 from repro.obs.trace import TRACE_FORMAT_VERSION, Span, Tracer
 
@@ -198,14 +214,27 @@ class Observability:
 __all__ = [
     "FUNNEL_STEPS",
     "MANIFEST_FORMAT_VERSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SUPPORTED_MANIFEST_FORMATS",
     "TRACE_FORMAT_VERSION",
+    "Event",
+    "EventLog",
+    "ManifestDiff",
     "MetricsRegistry",
     "Observability",
+    "RegisteredRun",
+    "RegistryError",
     "RunManifest",
+    "RunRegistry",
     "ScanObs",
     "Span",
+    "ThreadSafeMetricsRegistry",
     "Tracer",
+    "diff_manifests",
+    "diff_runs",
     "funnel_metrics",
     "manifest_path_for",
     "merge_metrics",
+    "render_prometheus",
+    "tool_version",
 ]

@@ -1,0 +1,234 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` renders a registry (or its ``to_dict``
+snapshot) in the Prometheus text exposition format (version 0.0.4), so
+standard scrapers can be pointed straight at the serve gateway's
+``/metrics?format=prometheus``.
+
+Name mapping is **stable** — documented in ``docs/API.md`` and relied
+on by dashboards, so treat it as an API:
+
+=================================  =====================================================
+registry name                      exposition series
+=================================  =====================================================
+``serve.requests``                 ``repro_serve_requests_total``
+``serve.requests.<ep>``            ``repro_serve_endpoint_requests_total{endpoint="<ep>"}``
+``serve.errors``                   ``repro_serve_errors_total``
+``serve.errors.<code>``            ``repro_serve_error_code_total{code="<code>"}``
+``serve.latency_ms.<ep>``          ``repro_serve_latency_ms_bucket{endpoint="<ep>",le="..."}``
+                                   + ``_sum``/``_count`` (histogram family)
+``serve.inflight.peak``            ``repro_serve_inflight_peak``
+any other counter ``a.b``          ``repro_a_b_total``
+any other gauge ``a.b``            ``repro_a_b``
+other histogram, numeric buckets   ``repro_a_b_bucket{le="..."}`` + ``repro_a_b_count``
+other histogram, string buckets    ``repro_a_b_total{bucket="<b>"}``
+=================================  =====================================================
+
+Numeric-bucket histograms are emitted cumulatively with a final
+``le="+Inf"`` bucket equal to the total count, exactly as the
+exposition grammar requires.  The serve latency families also carry a
+``_sum`` series fed by the ``serve.latency_sum_ms.<ep>`` counters the
+:class:`~repro.serve.metrics.ServiceMetrics` tracker maintains; those
+helper counters are consumed here and never exposed as standalone
+series.
+
+Everything is emitted in sorted family order with ``# HELP`` and
+``# TYPE`` headers, labels sorted, label values escaped per the
+exposition rules — the output is deterministic for a given snapshot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Content-Type of the rendered body (what Prometheus scrapers expect).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Helper counters folded into the latency histograms' ``_sum`` series.
+_LATENCY_SUM_PREFIX = "serve.latency_sum_ms."
+_LATENCY_PREFIX = "serve.latency_ms."
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Registry name -> exposition metric name body (``repro_`` prefix)."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    """One exposition family: TYPE/HELP header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[str] = []
+
+    def add(self, suffix: str, labels: Mapping[str, str],
+            value: Union[int, float]) -> None:
+        self.samples.append(
+            f"{self.name}{suffix}{_labels(labels)} {_format_value(value)}"
+        )
+
+    def render(self) -> str:
+        header = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        return "\n".join(header + self.samples)
+
+
+def _family(families: dict[str, _Family], name: str, kind: str,
+            help_text: str) -> _Family:
+    family = families.get(name)
+    if family is None:
+        family = families[name] = _Family(name, kind, help_text)
+    return family
+
+
+def _numeric_buckets(buckets: Mapping) -> bool:
+    return bool(buckets) and all(
+        isinstance(bound, (int, float)) and not isinstance(bound, bool)
+        for bound in buckets
+    )
+
+
+def _histogram_series(family: _Family, labels: Mapping[str, str],
+                      buckets: Mapping, total_sum=None) -> None:
+    """Emit one cumulative ``le`` bucket run plus count (and sum)."""
+    cumulative = 0
+    for bound in sorted(buckets):
+        cumulative += buckets[bound]
+        family.add("_bucket", {**labels, "le": str(bound)}, cumulative)
+    family.add("_bucket", {**labels, "le": "+Inf"}, cumulative)
+    if total_sum is not None:
+        family.add("_sum", labels, total_sum)
+    family.add("_count", labels, cumulative)
+
+
+def render_prometheus(
+    metrics: Union[MetricsRegistry, Mapping],
+) -> str:
+    """Render a registry (or its ``to_dict`` snapshot) as exposition text.
+
+    The output ends with a trailing newline, as the format requires.
+    """
+    snapshot = (metrics.to_dict() if isinstance(metrics, MetricsRegistry)
+                else metrics)
+    counters: dict = dict(snapshot.get("counters", {}))
+    gauges: dict = dict(snapshot.get("gauges", {}))
+    histograms: dict = dict(snapshot.get("histograms", {}))
+
+    families: dict[str, _Family] = {}
+
+    # Latency sums are helper counters for the histogram families.
+    latency_sums = {
+        name[len(_LATENCY_SUM_PREFIX):]: counters.pop(name)
+        for name in sorted(counters)
+        if name.startswith(_LATENCY_SUM_PREFIX)
+    }
+
+    for name in sorted(counters):
+        value = counters[name]
+        if name == "serve.requests":
+            _family(families, "repro_serve_requests_total", "counter",
+                    "Total queries answered by the service.") \
+                .add("", {}, value)
+        elif name.startswith("serve.requests."):
+            _family(families, "repro_serve_endpoint_requests_total",
+                    "counter", "Queries answered, by endpoint.") \
+                .add("", {"endpoint": name[len("serve.requests."):]}, value)
+        elif name == "serve.errors":
+            _family(families, "repro_serve_errors_total", "counter",
+                    "Total failed queries.").add("", {}, value)
+        elif name.startswith("serve.errors."):
+            _family(families, "repro_serve_error_code_total", "counter",
+                    "Failed queries, by error code.") \
+                .add("", {"code": name[len("serve.errors."):]}, value)
+        else:
+            _family(families, _sanitize(name) + "_total", "counter",
+                    f"Counter {name}.").add("", {}, value)
+
+    for name in sorted(gauges):
+        value = gauges[name]
+        if name == "serve.inflight.peak":
+            _family(families, "repro_serve_inflight_peak", "gauge",
+                    "High-water mark of concurrent in-flight queries.") \
+                .add("", {}, value)
+        else:
+            _family(families, _sanitize(name), "gauge",
+                    f"Gauge {name}.").add("", {}, value)
+
+    for name in sorted(histograms):
+        # to_dict() stringifies bucket keys for JSON; restore numeric
+        # bounds before deciding how to render.
+        buckets = _coerce_numeric(histograms[name])
+        if name.startswith(_LATENCY_PREFIX):
+            endpoint = name[len(_LATENCY_PREFIX):]
+            family = _family(
+                families, "repro_serve_latency_ms", "histogram",
+                "Query latency in milliseconds, power-of-two buckets, "
+                "by endpoint.",
+            )
+            _histogram_series(
+                family, {"endpoint": endpoint}, buckets,
+                total_sum=latency_sums.get(endpoint),
+            )
+        elif _numeric_buckets(buckets):
+            family = _family(families, _sanitize(name), "histogram",
+                             f"Histogram {name}.")
+            _histogram_series(family, {}, buckets)
+        else:
+            family = _family(families, _sanitize(name) + "_total",
+                             "counter",
+                             f"Histogram {name} (categorical buckets).")
+            for bucket in sorted(buckets, key=str):
+                family.add("", {"bucket": str(bucket)}, buckets[bucket])
+
+    body = "\n".join(
+        families[name].render() for name in sorted(families)
+    )
+    return body + "\n" if body else ""
+
+
+def _coerce_numeric(buckets: Mapping) -> dict:
+    """Restore numeric bucket bounds from a JSON snapshot's strings."""
+    coerced = {}
+    for bound, count in buckets.items():
+        if isinstance(bound, str) and bound.lstrip("-").isdigit():
+            bound = int(bound)
+        coerced[bound] = count
+    return coerced
+
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]

@@ -34,8 +34,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 PathLike = Union[str, pathlib.Path]
 
-#: Version marker written into every manifest.
-MANIFEST_FORMAT_VERSION = 1
+#: Version marker written into every manifest.  Version 2 added the
+#: ``tool_version`` field; the bump is tolerant in both directions —
+#: :meth:`RunManifest.read` accepts every version in
+#: :data:`SUPPORTED_MANIFEST_FORMATS`, and a version-1 document loads
+#: with ``tool_version="unknown"``.
+MANIFEST_FORMAT_VERSION = 2
+
+#: Formats :meth:`RunManifest.read` knows how to load.
+SUPPORTED_MANIFEST_FORMATS = (1, 2)
+
+
+def tool_version() -> str:
+    """The installed version of the repro tool itself.
+
+    Resolved from package metadata so an installed wheel reports its
+    real version; source checkouts fall back to ``repro.__version__``
+    and anything else to ``"unknown"`` — provenance must never make a
+    run fail.
+    """
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        pass
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"
 
 
 def _library_versions() -> dict[str, str]:
@@ -80,6 +109,9 @@ class RunManifest:
     versions: dict[str, str] = dataclasses.field(
         default_factory=_library_versions
     )
+    #: Version of the repro tool that produced this manifest (package
+    #: metadata; ``"unknown"`` for manifests written before format 2).
+    tool_version: str = dataclasses.field(default_factory=tool_version)
     #: Snapshot-chain provenance for evolved runs: the parent
     #: snapshot's fingerprint, the mutation seed, the step number and
     #: the changed-country list (see :mod:`repro.evolve`).  None for
@@ -152,10 +184,18 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunManifest":
-        """Rebuild a manifest from :meth:`to_dict` output."""
+        """Rebuild a manifest from :meth:`to_dict` output.
+
+        Unknown keys are dropped (newer writers stay loadable) and a
+        missing ``tool_version`` — every format-1 manifest — loads as
+        ``"unknown"`` rather than claiming the *reader's* version.
+        """
         fields = {field.name for field in dataclasses.fields(cls)}
-        return cls(**{key: value for key, value in data.items()
-                      if key in fields})
+        payload = {key: value for key, value in data.items()
+                   if key in fields}
+        if "tool_version" not in payload:
+            payload["tool_version"] = "unknown"
+        return cls(**payload)
 
     def write(self, path: PathLike) -> pathlib.Path:
         """Write the manifest as stable, sorted JSON."""
@@ -170,7 +210,7 @@ class RunManifest:
     def read(cls, path: PathLike) -> "RunManifest":
         """Load a manifest written by :meth:`write`."""
         data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
-        if data.get("format") != MANIFEST_FORMAT_VERSION:
+        if data.get("format") not in SUPPORTED_MANIFEST_FORMATS:
             raise ValueError(
                 f"{path}: unsupported manifest format {data.get('format')!r}"
             )
@@ -183,4 +223,10 @@ def manifest_path_for(dataset_path: PathLike) -> pathlib.Path:
     return path.with_name(path.name + ".manifest.json")
 
 
-__all__ = ["MANIFEST_FORMAT_VERSION", "RunManifest", "manifest_path_for"]
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "SUPPORTED_MANIFEST_FORMATS",
+    "RunManifest",
+    "manifest_path_for",
+    "tool_version",
+]

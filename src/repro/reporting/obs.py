@@ -1,13 +1,15 @@
-"""Rendering of observability data (``repro.obs``) as run summaries."""
+"""Rendering of observability data (``repro.obs``) as run summaries,
+run-registry listings and cross-run diffs."""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.reporting.tables import render_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.obs.registry import ManifestDiff, RegisteredRun
     from repro.obs.trace import Span
 
 
@@ -87,4 +89,73 @@ def render_run_summary(obs: "Observability",
     return "\n\n".join(sections)
 
 
-__all__ = ["render_run_summary"]
+def render_run_listing(runs: Sequence["RegisteredRun"]) -> str:
+    """The ``obs runs`` table: one row per registered run."""
+    if not runs:
+        return "registry is empty (no runs recorded)"
+    rows = []
+    for run in runs:
+        manifest = run.manifest
+        wall = run.wall_s
+        rate = run.hit_rate
+        rows.append((
+            f"#{run.seq}",
+            run.id[:12],
+            manifest.fingerprint[:12],
+            str(manifest.seed),
+            f"{manifest.scale:g}",
+            manifest.executor,
+            _format_seconds(wall) if wall is not None else "-",
+            f"{rate:.0%}" if rate is not None else "-",
+            manifest.tool_version,
+        ))
+    return render_table(
+        headers=("run", "id", "fingerprint", "seed", "scale",
+                 "executor", "wall", "hit rate", "tool"),
+        rows=rows,
+        title=f"Registered runs ({len(runs)})",
+    )
+
+
+def render_run_diff(diff: "ManifestDiff") -> str:
+    """Human-readable ``obs diff`` output: only what changed."""
+    header = "\n".join([
+        f"A {diff.a_fingerprint}",
+        f"B {diff.b_fingerprint}",
+        ("fingerprints match: same measured inputs, any drift below is "
+         "environmental") if diff.same_inputs
+        else "fingerprints differ: the runs measured different inputs",
+    ])
+    if not diff.changed_fields:
+        return header + "\nno differences"
+    sections = [header]
+
+    def _section(title: str, changes: dict) -> None:
+        if not changes:
+            return
+        rows = []
+        for key, change in changes.items():
+            delta = change.get("delta")
+            rows.append((key, str(change["a"]), str(change["b"]),
+                         f"{delta:+g}" if delta is not None else ""))
+        sections.append(render_table(
+            headers=("field", "a", "b", "delta"),
+            rows=rows, title=title,
+        ))
+
+    _section("Config", diff.config)
+    if diff.countries_added or diff.countries_removed:
+        parts = []
+        if diff.countries_added:
+            parts.append("added " + ", ".join(diff.countries_added))
+        if diff.countries_removed:
+            parts.append("removed " + ", ".join(diff.countries_removed))
+        sections.append("countries: " + "; ".join(parts))
+    _section("Dataset shape", diff.summary)
+    _section("Stage wall times", diff.stage_seconds)
+    _section("Cache", diff.cache)
+    _section("Versions", diff.versions)
+    return "\n\n".join(sections)
+
+
+__all__ = ["render_run_diff", "render_run_listing", "render_run_summary"]

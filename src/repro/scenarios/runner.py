@@ -62,6 +62,7 @@ from repro.scenarios.matrix import Scenario, ScenarioMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache import ScanCache
+    from repro.obs.registry import RunRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -192,6 +193,7 @@ class SweepRunner:
         max_depth: int = DEFAULT_MAX_DEPTH,
         cache: Optional["ScanCache"] = None,
         executor: Optional[ExecutionStrategy] = None,
+        registry: Optional["RunRegistry"] = None,
     ) -> None:
         scenarios = (
             matrix.compile() if isinstance(matrix, ScenarioMatrix)
@@ -215,6 +217,9 @@ class SweepRunner:
         self.max_depth = max_depth
         self.cache = cache
         self._executor = executor
+        #: When set, one manifest per distinct config is recorded into
+        #: this cross-run registry after assembly.
+        self.registry = registry
 
     # -------------------------------------------------------------- run
 
@@ -344,6 +349,18 @@ class SweepRunner:
         for fp, pipeline in pipelines.items():
             ordered = [partials[key] for _, key in tasks_by_fp[fp]]
             datasets[fp] = pipeline.assemble(ordered, executor=strategy)
+
+        if self.registry is not None:
+            from repro.obs import RunManifest
+
+            # One manifest per distinct config.  cache=None on purpose:
+            # the shared cache's stats describe the whole wave, and
+            # stamping sweep-wide accounting onto every per-config
+            # manifest would misattribute it.
+            for fp, pipeline in pipelines.items():
+                self.registry.record(RunManifest.collect(
+                    pipeline, datasets[fp], executor=strategy, cache=None,
+                ))
 
         baseline_fp = scenario_fps[0]
         baseline_keys = dict(tasks_by_fp[baseline_fp])

@@ -41,10 +41,17 @@ from repro.serve.schemas import (
     SummaryRequest,
 )
 from repro.serve.service import DatasetService
+from repro.serve.tracing import (
+    DEFAULT_SLOW_MS,
+    DEFAULT_TRACE_RING,
+    RequestTraceLog,
+)
 
 __all__ = [
     "CategoryMixRequest",
     "CrossborderRequest",
+    "DEFAULT_SLOW_MS",
+    "DEFAULT_TRACE_RING",
     "DatasetHTTPServer",
     "DatasetService",
     "LoadedDataset",
@@ -52,6 +59,7 @@ __all__ = [
     "QUERY_ENDPOINTS",
     "ReportRequest",
     "RequestError",
+    "RequestTraceLog",
     "ServeError",
     "ServiceMetrics",
     "SummaryRequest",

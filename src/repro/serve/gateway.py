@@ -1,11 +1,14 @@
 """Stdlib HTTP gateway over a :class:`~repro.serve.service.DatasetService`.
 
-Endpoints (all JSON)::
+Endpoints::
 
-    GET  /healthz                     liveness + dataset identity
+    GET  /healthz                     liveness + dataset identity (JSON)
     GET  /metrics                     per-query counters/latency/inflight
-    GET  /v1/<endpoint>?a=b&c=d       query-string parameters
-    POST /v1/<endpoint>  {...}        JSON-body parameters
+                                      (JSON by default; Prometheus text
+                                      via ?format=prometheus or an
+                                      Accept: text/plain header)
+    GET  /v1/<endpoint>?a=b&c=d       query-string parameters (JSON)
+    POST /v1/<endpoint>  {...}        JSON-body parameters (JSON)
 
 ``<endpoint>`` is one of the :data:`~repro.serve.schemas.QUERY_ENDPOINTS`
 names.  GET and POST validate identically (the schemas coerce
@@ -26,14 +29,18 @@ keep-alive works for closed-loop load generators.
 from __future__ import annotations
 
 import json
+import time
 import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping, Optional
 
+from repro.obs import Tracer
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.serve.errors import RequestError
 from repro.serve.schemas import QUERY_ENDPOINTS
 from repro.serve.service import DatasetService
+from repro.serve.tracing import RequestTraceLog, measure_ms
 
 #: Largest accepted request body; queries are tiny, anything bigger is
 #: a client bug or abuse.
@@ -46,9 +53,14 @@ class DatasetHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address, handler_class, service: DatasetService,
-                 *, workers: int = 8) -> None:
+                 *, workers: int = 8,
+                 trace_log: Optional[RequestTraceLog] = None) -> None:
         super().__init__(address, handler_class)
         self.service = service
+        #: When set, every /v1 request runs under its own Tracer and
+        #: lands in the bounded on-disk trace ring (plus the slow-query
+        #: log past its threshold).  None means requests run untraced.
+        self.trace_log = trace_log
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serve"
         )
@@ -88,6 +100,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_error_json(self, error: RequestError) -> None:
         self._send_json(error.status, {"error": error.to_dict()})
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_body(self) -> Mapping:
         length = self.headers.get("Content-Length")
@@ -134,7 +154,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.server.service.healthz())
             return
         if path == "/metrics":
-            self._send_json(200, self.server.service.metrics_snapshot())
+            self._send_metrics()
             return
         endpoint = self._endpoint()
         if endpoint is None:
@@ -158,29 +178,86 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._answer(endpoint, payload)
 
-    def _answer(self, endpoint: str, payload: Mapping) -> None:
-        try:
-            result = self.server.service.query(endpoint, payload)
-        except RequestError as exc:
-            self._send_error_json(exc)
-            return
-        except Exception:
+    def _send_metrics(self) -> None:
+        """Answer /metrics with content negotiation.
+
+        Explicit ``?format=json|prometheus`` wins; otherwise an
+        ``Accept`` header asking for ``text/plain`` (a Prometheus
+        scraper) gets exposition text, and everything else keeps the
+        original JSON body for backward compatibility.
+        """
+        requested = self._query_params().get("format")
+        if requested is None:
+            accept = self.headers.get("Accept", "")
+            requested = ("prometheus"
+                         if "text/plain" in accept
+                         and "application/json" not in accept
+                         else "json")
+        if requested == "json":
+            self._send_json(200, self.server.service.metrics_snapshot())
+        elif requested == "prometheus":
+            self._send_text(
+                200,
+                render_prometheus(self.server.service.metrics_snapshot()),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+        else:
             self._send_error_json(RequestError(
-                "internal", "internal server error", status=500))
+                "bad-format",
+                f"unknown metrics format {requested!r}; expected "
+                f"'json' or 'prometheus'", field="format"))
+
+    def _answer(self, endpoint: str, payload: Mapping) -> None:
+        trace_log = self.server.trace_log
+        if trace_log is None:
+            try:
+                result = self.server.service.query(endpoint, payload)
+            except RequestError as exc:
+                self._send_error_json(exc)
+                return
+            except Exception:
+                self._send_error_json(RequestError(
+                    "internal", "internal server error", status=500))
+                return
+            self._send_json(200, result)
             return
-        self._send_json(200, result)
+        # Traced twin of the same flow: identical service call and
+        # response bytes; the trace is written only after the answer
+        # has been sent, so tracing adds no latency before the bytes.
+        tracer = Tracer()
+        start_ns = time.perf_counter_ns()
+        status, error = 200, None
+        try:
+            result = self.server.service.query(endpoint, payload,
+                                               tracer=tracer)
+        except RequestError as exc:
+            status, error = exc.status, exc.to_dict()
+            self._send_error_json(exc)
+        except Exception:
+            internal = RequestError(
+                "internal", "internal server error", status=500)
+            status, error = internal.status, internal.to_dict()
+            self._send_error_json(internal)
+        else:
+            self._send_json(200, result)
+        trace_log.record(endpoint, payload=dict(payload), tracer=tracer,
+                         duration_ms=measure_ms(start_ns), status=status,
+                         error=error)
 
 
 def create_server(service: DatasetService, *, host: str = "127.0.0.1",
-                  port: int = 0, workers: int = 8) -> DatasetHTTPServer:
+                  port: int = 0, workers: int = 8,
+                  trace_log: Optional[RequestTraceLog] = None
+                  ) -> DatasetHTTPServer:
     """Bind a gateway for ``service``; ``port=0`` picks a free port.
 
     The caller runs ``serve_forever()`` (typically on a thread) and
     ``close()`` when done -- closing the server also closes the
-    service's backing store.
+    service's backing store.  Pass a :class:`RequestTraceLog` to trace
+    every request into its bounded on-disk ring.
     """
     return DatasetHTTPServer((host, port), _Handler, service,
-                             workers=workers)
+                             workers=workers, trace_log=trace_log)
 
 
 __all__ = ["DatasetHTTPServer", "MAX_BODY_BYTES", "create_server"]

@@ -1,21 +1,32 @@
-"""Thread-safe per-query metrics over a :mod:`repro.obs` registry.
+"""Per-query metrics over one thread-safe :mod:`repro.obs` registry.
 
-:class:`~repro.obs.MetricsRegistry` mutators are plain dict operations
-with no locking -- fine for the pipeline, where each shard owns its
-registry and merging happens after the fact, but the serve layer has
-many request threads hitting one registry.  :class:`ServiceMetrics`
-wraps one registry behind a lock and exposes a single
-:meth:`ServiceMetrics.track` context manager that records everything a
-query produces:
+The serve layer has many request threads hitting one registry, so
+:class:`ServiceMetrics` records straight into a
+:class:`~repro.obs.ThreadSafeMetricsRegistry` — the locking lives in
+the registry itself (one implementation, shared with anything else
+that needs a fenced registry), not in a wrapper re-implementing every
+mutator behind a second lock.  The only state the tracker still guards
+itself is the in-flight counter, which is not a monoid value.
+
+:meth:`ServiceMetrics.track` records everything a query produces:
 
 * ``serve.requests`` and ``serve.requests.<endpoint>`` counters;
 * ``serve.errors`` and ``serve.errors.<code>`` counters on failure;
 * ``serve.latency_ms.<endpoint>`` histograms, bucketed to power-of-two
   millisecond upper bounds (1, 2, 4, ... ms) so they merge as monoids
   like every other histogram in the codebase;
-* ``serve.inflight.peak`` gauge -- the high-water mark of concurrent
+* ``serve.latency_sum_ms.<endpoint>`` counters — exact millisecond
+  sums that become the ``_sum`` series of the Prometheus histogram
+  families (see :mod:`repro.obs.exposition`);
+* ``serve.inflight.peak`` gauge — the high-water mark of concurrent
   in-flight queries (gauges merge by max, so a peak is the only
   faithful choice).
+
+Latency is measured with :func:`time.perf_counter_ns`: monotonic, so a
+wall-clock step (NTP, DST, a VM migration) can never produce a
+negative or wildly inflated latency sample.  ``time.time()`` must not
+appear in this module — durations are always differences of monotonic
+readings.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ import contextlib
 import threading
 import time
 
-from repro.obs import MetricsRegistry
+from repro.obs import ThreadSafeMetricsRegistry
 
 
 def latency_bucket(milliseconds: float) -> int:
@@ -36,12 +47,12 @@ def latency_bucket(milliseconds: float) -> int:
 
 
 class ServiceMetrics:
-    """Lock-protected metrics shared by every request thread."""
+    """Request-thread metrics over one shared thread-safe registry."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._registry = MetricsRegistry()
+        self.registry = ThreadSafeMetricsRegistry()
         self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     @contextlib.contextmanager
     def track(self, endpoint: str):
@@ -50,36 +61,41 @@ class ServiceMetrics:
         Exceptions propagate after being counted, so the gateway still
         maps them to responses.
         """
-        start = time.perf_counter()
-        with self._lock:
+        start_ns = time.perf_counter_ns()
+        with self._inflight_lock:
             self._inflight += 1
-            self._registry.gauge("serve.inflight.peak", self._inflight)
+            inflight = self._inflight
+        self.registry.gauge("serve.inflight.peak", inflight)
         try:
             yield
         except Exception as exc:
             code = getattr(exc, "code", exc.__class__.__name__)
-            with self._lock:
-                self._registry.count("serve.errors")
-                self._registry.count(f"serve.errors.{code}")
+            self.registry.count("serve.errors")
+            self.registry.count(f"serve.errors.{code}")
             raise
         finally:
-            elapsed_ms = (time.perf_counter() - start) * 1000.0
-            with self._lock:
+            # max(0, ...) is belt and braces: perf_counter_ns is
+            # monotonic by contract, so the guard only matters if a
+            # platform clock is broken — and then we record 0, not a
+            # negative latency.
+            elapsed_ms = max(0, time.perf_counter_ns() - start_ns) / 1e6
+            with self._inflight_lock:
                 self._inflight -= 1
-                self._registry.count("serve.requests")
-                self._registry.count(f"serve.requests.{endpoint}")
-                self._registry.observe(f"serve.latency_ms.{endpoint}",
-                                       latency_bucket(elapsed_ms))
+            self.registry.count("serve.requests")
+            self.registry.count(f"serve.requests.{endpoint}")
+            self.registry.observe(f"serve.latency_ms.{endpoint}",
+                                  latency_bucket(elapsed_ms))
+            self.registry.count(f"serve.latency_sum_ms.{endpoint}",
+                                round(elapsed_ms, 6))
 
     def inflight(self) -> int:
         """Queries currently executing (for ``/healthz``)."""
-        with self._lock:
+        with self._inflight_lock:
             return self._inflight
 
     def snapshot(self) -> dict:
         """Point-in-time JSON-ready copy (the ``/metrics`` body)."""
-        with self._lock:
-            return self._registry.to_dict()
+        return self.registry.to_dict()
 
 
 __all__ = ["ServiceMetrics", "latency_bucket"]

@@ -23,6 +23,8 @@ from typing import Mapping, Optional, Sequence, Union
 
 from repro.analysis.engine import ensure_index
 from repro.core.dataset import GovernmentHostingDataset
+from repro.obs import events as obs_events
+from repro.obs.trace import Tracer
 from repro.serve.errors import RequestError
 from repro.serve.loader import LoadedDataset, open_any_dataset
 from repro.serve.metrics import ServiceMetrics
@@ -100,12 +102,16 @@ class DatasetService:
 
     # ----------------------------------------------------------- queries
 
-    def query(self, endpoint: str, payload: Mapping) -> dict:
+    def query(self, endpoint: str, payload: Mapping, *,
+              tracer: Optional[Tracer] = None) -> dict:
         """Validate ``payload`` against ``endpoint``'s schema and answer.
 
         The single entry point used by the gateway and the benchmark
         harness; raises :class:`RequestError` for anything the client
-        got wrong.
+        got wrong.  With ``tracer`` the same parse -> dispatch -> render
+        sequence runs under a ``serve.request`` span tree; tracing is
+        measurement only and never changes the answer bytes (the
+        zero-perturbation contract, held by ``tests/serve``).
         """
         try:
             schema = QUERY_ENDPOINTS[endpoint]
@@ -119,8 +125,35 @@ class DatasetService:
         if not isinstance(payload, Mapping):
             raise RequestError("bad-type", "request body must be an object")
         with self.metrics.track(endpoint):
-            request = schema.from_mapping(payload)
-            return self._dispatch(request).to_dict()
+            if tracer is None:
+                request = schema.from_mapping(payload)
+                return self._dispatch(request).to_dict()
+            return self._traced_query(endpoint, schema, payload, tracer)
+
+    def _traced_query(self, endpoint: str, schema, payload: Mapping,
+                      tracer: Tracer) -> dict:
+        """The traced twin of the :meth:`query` body.
+
+        The dispatch span collects the memo events the analysis layer
+        emits (index-table builds, flow/trend memo hits) into its tags:
+        an empty ``memo_builds`` list means the request was served
+        entirely from warm tables.
+        """
+        with tracer.span("serve.request", endpoint=endpoint):
+            with tracer.span("parse"):
+                request = schema.from_mapping(payload)
+            with tracer.span("dispatch") as dispatch_span:
+                with obs_events.collecting() as collected:
+                    response = self._dispatch(request)
+                dispatch_span.tags["memo_builds"] = sorted(
+                    event.payload.get("table", "?") for event in collected
+                    if event.kind == "memo.build"
+                )
+                dispatch_span.tags["memo_hits"] = sum(
+                    1 for event in collected if event.kind == "memo.hit"
+                )
+            with tracer.span("render"):
+                return response.to_dict()
 
     def _dispatch(self, request):
         if isinstance(request, SummaryRequest):
@@ -193,6 +226,8 @@ class DatasetService:
             with self._flow_lock:
                 entries = self._flow_entries.get(basis)
                 if entries is None:
+                    obs_events.emit("memo.build", table="flow_entries",
+                                    basis=basis)
                     entries = tuple(
                         FlowEntry(source=s, destination=d,
                                   url_count=u, byte_count=b)
@@ -200,6 +235,8 @@ class DatasetService:
                         in self._index.crossborder_flow_table(basis)
                     )
                     self._flow_entries[basis] = entries
+                    return entries
+        obs_events.emit("memo.hit", table="flow_entries", basis=basis)
         return entries
 
     def providers(self, request: ProvidersRequest) -> ProvidersResponse:
@@ -259,10 +296,13 @@ class DatasetService:
                 if report is None:
                     from repro.analysis.longitudinal import compute_trends
 
+                    obs_events.emit("memo.build", table="trend_report")
                     snapshots = list(self._history_datasets)
                     snapshots.append(self._index)
                     report = compute_trends(snapshots)
                     self._trend_report = report
+                    return report
+        obs_events.emit("memo.hit", table="trend_report")
         return report
 
     # ------------------------------------------------------------ health

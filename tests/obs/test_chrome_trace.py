@@ -1,0 +1,80 @@
+"""Chrome trace_event export: schema and consistency on a real run."""
+
+import json
+
+import pytest
+
+from repro import Pipeline, SyntheticWorld, WorldConfig
+from repro.obs import Observability
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    obs = Observability()
+    world = SyntheticWorld.generate(WorldConfig(
+        seed=13, scale=0.02, countries=("BR", "US"),
+        include_topsites=False,
+    ))
+    Pipeline(world, obs=obs).run(["BR", "US"])
+    return obs.tracer
+
+
+def test_export_is_json_serializable(traced_run):
+    document = traced_run.to_chrome()
+    restored = json.loads(json.dumps(document))
+    assert restored == document
+
+
+def test_document_schema(traced_run):
+    document = traced_run.to_chrome()
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    assert document["traceEvents"], "a real run must produce events"
+
+
+def test_every_event_is_a_complete_event(traced_run):
+    for event in traced_run.to_chrome()["traceEvents"]:
+        assert set(event) == {"name", "ph", "ts", "dur", "pid", "tid",
+                              "args"}
+        assert event["ph"] == "X"
+        assert isinstance(event["name"], str) and event["name"]
+        assert event["ts"] >= 0.0  # relative to the trace origin
+        assert event["dur"] >= 0.0
+        assert event["pid"] == 0 and event["tid"] == 0
+        assert isinstance(event["args"], dict)
+
+
+def test_events_cover_the_pipeline_stages(traced_run):
+    names = {e["name"] for e in traced_run.to_chrome()["traceEvents"]}
+    assert {"pipeline.run", "scan", "merge", "finalize"} <= names
+
+
+def test_children_nest_within_their_parents(traced_run):
+    """Microsecond intervals must agree with the span tree's nesting."""
+    events = {}
+
+    def collect(span):
+        events[id(span)] = span
+        for child in span.children:
+            collect(child)
+
+    for root in traced_run.roots:
+        collect(root)
+    for span in events.values():
+        for child in span.children:
+            assert child.start_s >= span.start_s
+            assert child.end_s <= span.end_s
+
+    # And the exported run event spans its stage events.
+    exported = traced_run.to_chrome()["traceEvents"]
+    run = next(e for e in exported if e["name"] == "pipeline.run")
+    for stage in (e for e in exported
+                  if e["name"] in ("scan", "merge", "finalize")):
+        assert stage["ts"] >= run["ts"]
+        assert stage["ts"] + stage["dur"] <= run["ts"] + run["dur"] + 0.2
+
+
+def test_tags_become_args(traced_run):
+    exported = traced_run.to_chrome()["traceEvents"]
+    run = next(e for e in exported if e["name"] == "pipeline.run")
+    assert run["args"].get("countries") == 2

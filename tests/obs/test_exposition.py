@@ -1,0 +1,124 @@
+"""Prometheus text exposition: grammar, name mapping, histogram folding."""
+
+import json
+import re
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9.eE+-]+$"
+)
+
+
+def _serve_registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.count("serve.requests", 5)
+    r.count("serve.requests.summary", 3)
+    r.count("serve.requests.providers", 2)
+    r.count("serve.errors", 1)
+    r.count("serve.errors.unknown-country", 1)
+    r.gauge("serve.inflight.peak", 4)
+    r.observe("serve.latency_ms.summary", 1, 2)
+    r.observe("serve.latency_ms.summary", 4, 1)
+    r.count("serve.latency_sum_ms.summary", 5.25)
+    return r
+
+
+def _parse(body: str) -> dict[str, float]:
+    """Exposition body -> {sample-line-without-value: value}."""
+    samples = {}
+    for line in body.splitlines():
+        if line.startswith("#"):
+            continue
+        assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+def test_output_obeys_the_exposition_grammar():
+    body = render_prometheus(_serve_registry())
+    assert body.endswith("\n")
+    families = set()
+    for line in body.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            families.add(line.split()[2])
+        else:
+            assert SAMPLE_LINE.match(line), line
+    # Every family announced exactly once with both headers.
+    assert body.count("# TYPE repro_serve_latency_ms ") == 1
+    assert all(f"# HELP {name} " in body for name in families)
+
+
+def test_serve_names_map_to_stable_series():
+    samples = _parse(render_prometheus(_serve_registry()))
+    assert samples["repro_serve_requests_total"] == 5
+    assert samples[
+        'repro_serve_endpoint_requests_total{endpoint="summary"}'] == 3
+    assert samples[
+        'repro_serve_endpoint_requests_total{endpoint="providers"}'] == 2
+    assert samples["repro_serve_errors_total"] == 1
+    assert samples[
+        'repro_serve_error_code_total{code="unknown-country"}'] == 1
+    assert samples["repro_serve_inflight_peak"] == 4
+
+
+def test_latency_histogram_is_cumulative_with_sum_and_count():
+    samples = _parse(render_prometheus(_serve_registry()))
+    assert samples[
+        'repro_serve_latency_ms_bucket{endpoint="summary",le="1"}'] == 2
+    assert samples[
+        'repro_serve_latency_ms_bucket{endpoint="summary",le="4"}'] == 3
+    assert samples[
+        'repro_serve_latency_ms_bucket{endpoint="summary",le="+Inf"}'] == 3
+    assert samples['repro_serve_latency_ms_sum{endpoint="summary"}'] == 5.25
+    assert samples['repro_serve_latency_ms_count{endpoint="summary"}'] == 3
+
+
+def test_latency_sum_helper_counter_is_never_standalone():
+    body = render_prometheus(_serve_registry())
+    assert "latency_sum_ms" not in body
+
+
+def test_rendering_a_json_snapshot_matches_the_live_registry():
+    registry = _serve_registry()
+    # The gateway renders from snapshot dicts whose histogram keys have
+    # been stringified by JSON; both forms must agree byte for byte.
+    snapshot = json.loads(json.dumps(registry.to_dict()))
+    assert render_prometheus(snapshot) == render_prometheus(registry)
+
+
+def test_generic_names_are_sanitized():
+    r = MetricsRegistry()
+    r.count("crawl.page-loads", 7)
+    r.gauge("evolve.snapshot.0.hit_rate", 0.5)
+    samples = _parse(render_prometheus(r))
+    assert samples["repro_crawl_page_loads_total"] == 7
+    assert samples["repro_evolve_snapshot_0_hit_rate"] == 0.5
+
+
+def test_generic_numeric_histogram_and_categorical_buckets():
+    r = MetricsRegistry()
+    r.observe("depth", 0, 4)
+    r.observe("depth", 2, 1)
+    r.observe("size", "large", 6)
+    samples = _parse(render_prometheus(r))
+    assert samples['repro_depth_bucket{le="0"}'] == 4
+    assert samples['repro_depth_bucket{le="2"}'] == 5
+    assert samples['repro_depth_bucket{le="+Inf"}'] == 5
+    assert samples["repro_depth_count"] == 5
+    assert samples['repro_size_total{bucket="large"}'] == 6
+
+
+def test_label_values_are_escaped():
+    r = MetricsRegistry()
+    r.count('serve.errors.bad"code\\with\nnewline', 1)
+    body = render_prometheus(r)
+    (line,) = [l for l in body.splitlines()
+               if l.startswith("repro_serve_error_code_total")]
+    assert '\\"' in line and "\\\\" in line and "\\n" in line
+    assert "\n" not in line
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""

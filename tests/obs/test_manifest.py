@@ -6,7 +6,14 @@ import pytest
 
 from repro import Pipeline, SyntheticWorld, WorldConfig
 from repro.cache.fingerprint import run_fingerprint
-from repro.obs import Observability, RunManifest, manifest_path_for
+from repro.obs import (
+    MANIFEST_FORMAT_VERSION,
+    Observability,
+    RunManifest,
+    SUPPORTED_MANIFEST_FORMATS,
+    manifest_path_for,
+    tool_version,
+)
 
 COUNTRIES = ("BR", "US", "FR")
 CONFIG = WorldConfig(seed=21, scale=0.02, countries=COUNTRIES,
@@ -104,6 +111,44 @@ def test_from_dict_ignores_unknown_fields(observed_run):
     payload = manifest.to_dict()
     payload["added_in_a_future_version"] = True
     assert RunManifest.from_dict(payload) == manifest
+
+
+def test_collected_manifest_records_the_tool_version(observed_run):
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    assert manifest.format == MANIFEST_FORMAT_VERSION == 2
+    assert manifest.tool_version == tool_version()
+    assert manifest.tool_version != "unknown"
+
+
+def test_read_accepts_old_format_without_tool_version(observed_run,
+                                                      tmp_path):
+    """Backward: a format-1 manifest (pre-tool_version) still loads."""
+    pipeline, dataset = observed_run
+    manifest = RunManifest.collect(pipeline, dataset)
+    payload = manifest.to_dict()
+    payload["format"] = 1
+    del payload["tool_version"]
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps(payload))
+    restored = RunManifest.read(path)
+    # An old manifest must not claim the *reader's* version.
+    assert restored.tool_version == "unknown"
+    assert restored.fingerprint == manifest.fingerprint
+    assert set(SUPPORTED_MANIFEST_FORMATS) == {1, 2}
+
+
+def test_from_dict_preserves_an_explicit_tool_version(observed_run):
+    """Forward: a newer writer's tool_version survives the round trip."""
+    pipeline, dataset = observed_run
+    payload = RunManifest.collect(pipeline, dataset).to_dict()
+    payload["tool_version"] = "9.9.9"
+    assert RunManifest.from_dict(payload).tool_version == "9.9.9"
+
+
+def test_tool_version_never_raises():
+    assert isinstance(tool_version(), str)
+    assert tool_version()
 
 
 def test_manifest_path_is_a_dataset_sibling(tmp_path):

@@ -329,3 +329,120 @@ def test_serve_answers_over_http(saved_dataset, capsys):
         server.shutdown()
         server.close()
         thread.join(timeout=5)
+
+
+# ------------------------------------------------- cross-run observability
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory):
+    """Two registered runs differing only in their seed."""
+    registry = tmp_path_factory.mktemp("cli") / "registry"
+    for seed in ("5", "6"):
+        assert main(["run", "--seed", seed, "--scale", "0.05",
+                     "--countries", "UY", "--registry", str(registry)]) == 0
+    return registry
+
+
+def test_run_registry_records_each_execution(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    args = ["run", "--seed", "5", "--scale", "0.05", "--countries", "UY",
+            "--registry", str(registry)]
+    assert main(args) == 0
+    assert "registry: recorded run #0" in capsys.readouterr().out
+    # Re-running the same config appends a new entry: manifests carry
+    # measured wall times, so each execution is its own run — exactly
+    # what the cross-run trajectory analysis needs.  Both runs share
+    # one fingerprint.
+    assert main(args) == 0
+    assert "registry: recorded run #1" in capsys.readouterr().out
+
+    from repro.obs import RunRegistry
+
+    first, second = RunRegistry(registry).runs()
+    assert first.fingerprint == second.fingerprint
+    assert first.id != second.id
+
+
+def test_obs_runs_lists_registered_runs(registry_dir, capsys):
+    assert main(["obs", "runs", "--registry", str(registry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Registered runs (2)" in out
+    assert "#0" in out and "#1" in out
+    assert "serial" in out
+
+
+def test_obs_runs_json(registry_dir, capsys):
+    import json
+
+    assert main(["obs", "runs", "--registry", str(registry_dir),
+                 "--json"]) == 0
+    runs = json.loads(capsys.readouterr().out)
+    assert [run["seq"] for run in runs] == [0, 1]
+    assert runs[0]["manifest"]["seed"] == 5
+    assert runs[1]["manifest"]["seed"] == 6
+
+
+def test_obs_diff_names_the_changed_seed(registry_dir, capsys):
+    assert main(["obs", "diff", "0", "1",
+                 "--registry", str(registry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "diff of run #0" in out
+    assert "fingerprints differ" in out
+    assert "seed" in out
+
+
+def test_obs_diff_accepts_id_prefixes(registry_dir, capsys):
+    import json
+
+    assert main(["obs", "runs", "--registry", str(registry_dir),
+                 "--json"]) == 0
+    runs = json.loads(capsys.readouterr().out)
+    assert main(["obs", "diff", runs[0]["id"][:8], "1",
+                 "--registry", str(registry_dir), "--json"]) == 0
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["config"]["seed"] == {"a": 5, "b": 6}
+
+
+def test_obs_diff_unknown_ref_exits_cleanly(registry_dir, capsys):
+    assert main(["obs", "diff", "0", "99",
+                 "--registry", str(registry_dir)]) == 1
+    assert "no run #99" in capsys.readouterr().err
+
+
+def _bench_paths():
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    return sorted(str(p) for p in root.glob("BENCH_*.json"))
+
+
+def test_obs_bench_check_passes_on_checked_in_benchmarks(capsys):
+    assert main(["obs", "bench", "--check"] + _bench_paths()) == 0
+    out = capsys.readouterr().out
+    assert "bench gates passed" in out
+    assert "FAIL" not in out
+
+
+def test_obs_bench_check_fails_naming_the_culprit(tmp_path, capsys):
+    import json
+
+    source = json.loads(open(_bench_paths()[0]).read())
+    source["speedup"] = 0.01
+    bad = tmp_path / "BENCH_analysis.json"
+    bad.write_text(json.dumps(source))
+
+    assert main(["obs", "bench", "--check", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "bench gates FAILED" in captured.err
+    assert "speedup" in captured.err  # the culprit metric is named
+
+    # Without --check the failure is reported but not fatal.
+    assert main(["obs", "bench", str(bad)]) == 0
+
+
+def test_serve_trace_ring_must_be_positive(saved_dataset, tmp_path, capsys):
+    assert main(["serve", "--dataset", str(saved_dataset),
+                 "--trace-dir", str(tmp_path / "traces"),
+                 "--trace-ring", "0"]) == 2
+    assert "--trace-ring" in capsys.readouterr().err
